@@ -1,0 +1,48 @@
+"""Ablation — classifier choice on the embedding features.
+
+The paper picks an RBF SVM (section 6.2) for the 3k-dim embedding
+features. This bench swaps in the J48 tree (Exposure's model class) on
+the *same* features, separating "which features" from "which model":
+the embedding features should remain strong under either classifier,
+with the SVM having the edge on the dense high-dimensional vectors.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series_table
+from repro.baselines import ExposureClassifier
+from repro.core.detector import MaliciousDomainClassifier
+from repro.ml import cross_validated_scores, roc_auc_score
+
+
+def test_ablation_classifier_choice(benchmark, bench_dataset, bench_features):
+    labels = bench_dataset.labels
+
+    def run_both():
+        svm_scores, __ = cross_validated_scores(
+            bench_features, labels, MaliciousDomainClassifier, n_splits=5
+        )
+        tree_scores, __ = cross_validated_scores(
+            bench_features, labels, ExposureClassifier, n_splits=5
+        )
+        return (
+            roc_auc_score(labels, svm_scores),
+            roc_auc_score(labels, tree_scores),
+        )
+
+    svm_auc, tree_auc = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print()
+    print("Ablation — classifier on the same 3k-dim embedding features")
+    print(
+        format_series_table(
+            ["classifier", "AUC"],
+            [["RBF SVM (paper)", svm_auc], ["J48 tree", tree_auc]],
+        )
+    )
+
+    # The features carry the signal: both models do well.
+    assert svm_auc > 0.85
+    assert tree_auc > 0.70
+    # The paper's SVM choice is justified on dense embeddings.
+    assert svm_auc >= tree_auc - 0.02

@@ -1,0 +1,55 @@
+"""Ablation — embedding dimension k.
+
+The paper fixes one embedding size per view (k, giving 3k combined
+features) without reporting a sweep. This bench sweeps k over
+{8, 16, 32} on the query-behavior view to show where returns diminish.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series_table
+from repro.core.detector import MaliciousDomainClassifier
+from repro.core.features import FeatureView
+from repro.embedding.line import LineConfig, train_line
+from repro.ml import cross_validated_scores, roc_auc_score
+
+DIMENSIONS = (8, 16, 32)
+
+
+def test_ablation_embedding_dimension(benchmark, bench_detector, bench_dataset):
+    graph = bench_detector.similarity_graphs[FeatureView.QUERY]
+    labels = bench_dataset.labels
+
+    def sweep():
+        results = {}
+        for dimension in DIMENSIONS:
+            embedding = train_line(
+                graph,
+                LineConfig(
+                    dimension=dimension,
+                    total_samples=3_000_000,
+                    seed=17,
+                ),
+            )
+            features = embedding.matrix(bench_dataset.domains)
+            scores, __ = cross_validated_scores(
+                features, labels, MaliciousDomainClassifier, n_splits=5
+            )
+            results[dimension] = roc_auc_score(labels, scores)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print("Ablation — query-view AUC vs embedding dimension")
+    print(
+        format_series_table(
+            ["k", "AUC"], [[k, results[k]] for k in DIMENSIONS]
+        )
+    )
+
+    # All dimensions carry real signal; quality does not collapse at
+    # higher k (no overfitting cliff).
+    for dimension in DIMENSIONS:
+        assert results[dimension] > 0.6
+    assert max(results.values()) - results[8] >= -0.02

@@ -1,0 +1,59 @@
+"""Ablation — LINE proximity order (section 5).
+
+LINE can preserve first-order proximity (observed edges), second-order
+proximity (shared neighborhoods), or both (concatenated halves — the
+pipeline default). This bench compares the three on the query-behavior
+view.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series_table
+from repro.core.detector import MaliciousDomainClassifier
+from repro.core.features import FeatureView
+from repro.embedding.line import LineConfig, train_line
+from repro.ml import cross_validated_scores, roc_auc_score
+
+ORDERS = ("first", "second", "both")
+
+
+def test_ablation_line_order(benchmark, bench_detector, bench_dataset):
+    graph = bench_detector.similarity_graphs[FeatureView.QUERY]
+    labels = bench_dataset.labels
+
+    def sweep():
+        results = {}
+        for order in ORDERS:
+            embedding = train_line(
+                graph,
+                LineConfig(
+                    dimension=32,
+                    order=order,
+                    total_samples=3_000_000,
+                    seed=19,
+                ),
+            )
+            features = embedding.matrix(bench_dataset.domains)
+            scores, __ = cross_validated_scores(
+                features, labels, MaliciousDomainClassifier, n_splits=5
+            )
+            results[order] = roc_auc_score(labels, scores)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print("Ablation — query-view AUC vs LINE proximity order")
+    print(
+        format_series_table(
+            ["order", "AUC"], [[o, results[o]] for o in ORDERS]
+        )
+    )
+
+    # Every order is informative, and combining both stays in the same
+    # band as the better single order (LINE's original claim; at a fixed
+    # total dimension the concatenation halves each order's capacity, so
+    # a modest gap to the best single order is expected).
+    for order in ORDERS:
+        assert results[order] > 0.6
+    assert results["both"] >= max(results["first"], results["second"]) - 0.09

@@ -1,0 +1,51 @@
+"""Ablation — the paper's SVM hyperparameters (section 6.2).
+
+The paper sets C = 0.09 and gamma = 0.06 without showing the search.
+This bench grid-searches around those values on the embedding features
+and checks that the paper's operating point lies in the high-AUC
+plateau (i.e. the chosen values are reasonable, not magic).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series_table
+from repro.core.detector import MaliciousDomainClassifier
+from repro.ml.grid_search import grid_search
+
+C_GRID = (0.03, 0.09, 0.3, 1.0)
+GAMMA_GRID = (0.02, 0.06, 0.2)
+
+
+def test_ablation_svm_hyperparameters(benchmark, bench_dataset, bench_features):
+    labels = bench_dataset.labels
+
+    def run_grid():
+        return grid_search(
+            bench_features,
+            labels,
+            lambda c, gamma: MaliciousDomainClassifier(c=c, gamma=gamma),
+            {"c": list(C_GRID), "gamma": list(GAMMA_GRID)},
+            n_splits=3,
+        )
+
+    result = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    rows = [
+        [p["c"], p["gamma"], score] for p, score in result.evaluations
+    ]
+    print()
+    print("Ablation — SVM (C, gamma) grid on the 3k-dim features")
+    print(format_series_table(["C", "gamma", "AUC"], rows))
+    print(f"best: {result.best_params} AUC {result.best_score:.3f}")
+
+    paper_cell = next(
+        score
+        for params, score in result.evaluations
+        if params["c"] == 0.09 and params["gamma"] == 0.06
+    )
+    # The paper's operating point sits in the plateau: within 0.05 AUC
+    # of the grid optimum. (The grid's best cell uses a larger C; the
+    # paper's heavier regularization trades a little in-sample AUC for
+    # the margin robustness argued in section 6.2.)
+    assert result.best_score - paper_cell < 0.05
+    assert paper_cell > 0.85

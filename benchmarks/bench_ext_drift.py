@@ -1,0 +1,106 @@
+"""Extension — feature stability over time (section 8.2's argument).
+
+The paper argues behavioral features are "more robust and stable" than
+DNS statistics, whose distributions "change over time". This bench
+splits the capture into two week-long windows and quantifies the claim:
+
+* behavioral signatures (host-domain neighborhoods) of the labeled
+  malicious domains persist across windows;
+* Exposure's statistical features drift: a J48 trained on window-1
+  features loses AUC scoring window-2 features of the same domains,
+  while rank stability of individual statistics is visibly imperfect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.drift import (
+    feature_stability,
+    neighborhood_stability,
+    transfer_auc_decay,
+)
+from repro.analysis.reporting import format_series_table
+from repro.baselines import ExposureClassifier, ExposureFeatureExtractor
+from repro.baselines.exposure import FEATURE_NAMES
+from repro.dns.dhcp import HostIdentityResolver
+from repro.graphs import build_host_domain_graph
+
+
+def _split_records(records, cutoff):
+    return (
+        [r for r in records if r.timestamp < cutoff],
+        [r for r in records if r.timestamp >= cutoff],
+    )
+
+
+def test_ext_feature_drift(benchmark, bench_trace, bench_dataset):
+    cutoff = bench_trace.config.duration_seconds / 2.0
+    queries_1, queries_2 = _split_records(bench_trace.queries, cutoff)
+    responses_1, responses_2 = _split_records(bench_trace.responses, cutoff)
+    identity = HostIdentityResolver(bench_trace.dhcp)
+
+    def run_analysis():
+        graph_1 = build_host_domain_graph(queries_1, identity)
+        graph_2 = build_host_domain_graph(queries_2, identity)
+        extractor_1 = ExposureFeatureExtractor()
+        features_1 = extractor_1.extract(queries_1, responses_1)
+        extractor_2 = ExposureFeatureExtractor()
+        features_2 = extractor_2.extract(queries_2, responses_2)
+        return graph_1, graph_2, features_1, features_2
+
+    graph_1, graph_2, features_1, features_2 = benchmark.pedantic(
+        run_analysis, rounds=1, iterations=1
+    )
+
+    # Domains measurable in both windows.
+    malicious = [
+        d
+        for d in bench_dataset.malicious_domains
+        if d in features_1.domains and d in features_2.domains
+    ]
+    labeled_both = [
+        d
+        for d in bench_dataset.domains
+        if d in features_1.domains and d in features_2.domains
+    ]
+    labels_both = np.array(
+        [
+            bench_dataset.labels[bench_dataset.domains.index(d)]
+            for d in labeled_both
+        ]
+    )
+
+    # 1. Behavioral neighborhoods persist.
+    hood_stability = neighborhood_stability(graph_1, graph_2, malicious)
+    mean_hood = float(np.mean(list(hood_stability.values())))
+
+    # 2. Statistical ranks drift.
+    matrix_1 = features_1.rows_for(labeled_both)
+    matrix_2 = features_2.rows_for(labeled_both)
+    stat_stability = feature_stability(matrix_1, matrix_2, FEATURE_NAMES)
+    mean_stat = float(np.mean(list(stat_stability.values())))
+
+    # 3. Operational consequence: trained-once J48 decays.
+    decay = transfer_auc_decay(
+        ExposureClassifier, matrix_1, matrix_2, labels_both
+    )
+
+    rows = [
+        ["malicious neighborhood overlap (mean Jaccard)", mean_hood],
+        ["statistical rank stability (mean Spearman)", mean_stat],
+        ["Exposure within-window AUC", decay.within_auc],
+        ["Exposure cross-window AUC", decay.transfer_auc],
+        ["Exposure AUC decay", decay.decay],
+    ]
+    print()
+    print("Extension — two-window stability analysis")
+    print(format_series_table(["quantity", "value"], rows))
+
+    # The paper's claim, quantified: behavioral signatures persist
+    # strongly across windows, while the statistics-based classifier
+    # does not improve under drift (its within-window fit is its
+    # ceiling) and individual statistics are visibly rank-unstable.
+    assert mean_hood > 0.4
+    assert decay.transfer_auc <= decay.within_auc + 0.005
+    assert mean_stat < 0.95

@@ -1,0 +1,81 @@
+"""Figure 4 — discovering new malicious domains from a small seed set.
+
+Paper: growing the seed set of known malicious domains from 0 to 200 and
+expanding through the discovered clusters yields ~2,000 VirusTotal-
+confirmed ("true") domains plus ~500 unconfirmed ("suspicious") ones.
+
+Reproduction: the same expansion — clusters containing a seed donate
+their other members; the VirusTotal oracle splits them into true vs
+suspicious. Our trace holds ~1,000 malicious e2LDs (vs the paper's
+several thousand), so absolute counts scale down; the shape — counts
+growing with seed size, then saturating; true discoveries well above
+suspicious — must hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series_table
+from repro.core.clustering import expand_from_seeds
+
+SEED_SIZES = (0, 25, 50, 100, 150, 200)
+
+
+def test_fig4_seed_expansion(
+    benchmark, bench_trace, bench_virustotal, predicted_malicious_clusters,
+    bench_dataset,
+):
+    # Clusters cover the classifier's malicious side (section 7.2.1), so
+    # discoveries are mostly domains the labeled set never contained.
+    clusters = predicted_malicious_clusters
+    # Seeds are sampled from the *labeled malicious* pool, like the
+    # paper's confirmed seed domains.
+    rng = np.random.default_rng(11)
+    pool = bench_dataset.malicious_domains
+    seed_order = [pool[int(i)] for i in rng.permutation(len(pool))]
+
+    def run_expansion():
+        results = []
+        for size in SEED_SIZES:
+            outcome = expand_from_seeds(
+                clusters, seed_order[:size], bench_virustotal
+            )
+            results.append(outcome)
+        return results
+
+    results = benchmark.pedantic(run_expansion, rounds=1, iterations=1)
+
+    rows = [
+        [r.seed_size, r.discovered_true, r.discovered_suspicious]
+        for r in results
+    ]
+    print()
+    print("Figure 4 — newly discovered malicious domains vs seed size")
+    print(format_series_table(["seeds", "true", "suspicious"], rows))
+
+    by_size = {r.seed_size: r for r in results}
+    # Zero seeds discover nothing (the curve starts at the origin).
+    assert by_size[0].discovered_true == 0
+    assert by_size[0].discovered_suspicious == 0
+    # Discoveries grow with seed size, then saturate once every malicious
+    # cluster holds a seed (mild dips at large seed counts are expected:
+    # seeds themselves are excluded from the discovery counts).
+    truths = [r.discovered_true for r in results]
+    assert truths[1] > 0
+    assert max(truths) > 200  # a large multiple of the seed set
+    for previous, current in zip(truths[1:], truths[2:]):
+        assert current >= 0.8 * previous, "expansion curve collapsed"
+    final = by_size[SEED_SIZES[-1]]
+    # Both buckets populated, true dominating (paper: ~2000 vs ~500).
+    assert final.discovered_suspicious > 0
+    assert final.discovered_true > final.discovered_suspicious
+    # Expansion precision: the majority of discoveries are genuinely
+    # malicious. (The paper cannot measure this — its "suspicious"
+    # bucket is by definition unconfirmed; ground truth lets us. The
+    # flagged-domain clusters inherit the classifier's false positives,
+    # so precision is bounded by the SVM's, not 1.0.)
+    truth = bench_trace.ground_truth
+    discovered = final.true_domains + final.suspicious_domains
+    genuinely_malicious = sum(truth.is_malicious(d) for d in discovered)
+    assert genuinely_malicious / len(discovered) > 0.6

@@ -1,0 +1,91 @@
+"""Performance — per-stage cost of the pipeline.
+
+Not a paper figure: these benches time the individual stages (graph
+construction, pruning, projection, LINE, SVM training) with proper
+repetition so regressions in the hot paths show up in
+``--benchmark-only`` output. The paper's section 4.1 motivates pruning
+with running time; the projection and embedding stages are where that
+time actually goes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.detector import MaliciousDomainClassifier
+from repro.dns.dhcp import HostIdentityResolver
+from repro.graphs import (
+    build_domain_time_graph,
+    build_host_domain_graph,
+    project_to_similarity,
+    prune_graphs,
+)
+from repro.graphs.bipartite import build_domain_ip_graph
+
+
+def test_perf_host_domain_graph_construction(benchmark, bench_trace):
+    identity = HostIdentityResolver(bench_trace.dhcp)
+    queries = bench_trace.queries
+
+    result = benchmark.pedantic(
+        lambda: build_host_domain_graph(queries, identity),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.domain_count > 500
+
+
+def test_perf_projection(benchmark, bench_detector):
+    host_domain = bench_detector.host_domain
+    order = bench_detector.domains
+
+    result = benchmark.pedantic(
+        lambda: project_to_similarity(host_domain, order),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.edge_count > 0
+
+
+def test_perf_pruning(benchmark, bench_trace):
+    identity = HostIdentityResolver(bench_trace.dhcp)
+    host_domain = build_host_domain_graph(bench_trace.queries, identity)
+    domain_ip = build_domain_ip_graph(bench_trace.responses)
+    domain_time = build_domain_time_graph(bench_trace.queries)
+
+    __, __, __, report = benchmark.pedantic(
+        lambda: prune_graphs(host_domain, domain_ip, domain_time),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.domains_after > 0
+
+
+def test_perf_svm_training(benchmark, bench_dataset, bench_features):
+    labels = bench_dataset.labels
+    # Train on a fixed 1000-sample slice for stable timing.
+    size = min(1000, len(labels))
+    features = bench_features[:size]
+    y = labels[:size]
+    if len(np.unique(y)) < 2:
+        pytest.skip("slice lacks both classes")
+
+    model = benchmark.pedantic(
+        lambda: MaliciousDomainClassifier().fit(features, y),
+        rounds=3,
+        iterations=1,
+    )
+    assert model.support_vector_count > 0
+
+
+def test_perf_svm_scoring(benchmark, bench_dataset, bench_features):
+    labels = bench_dataset.labels
+    model = MaliciousDomainClassifier().fit(bench_features, labels)
+
+    scores = benchmark.pedantic(
+        lambda: model.decision_function(bench_features),
+        rounds=5,
+        iterations=1,
+    )
+    assert scores.shape[0] == len(labels)

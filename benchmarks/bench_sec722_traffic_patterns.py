@@ -1,0 +1,96 @@
+"""Section 7.2.2 — traffic patterns of malicious clusters via netflow.
+
+Paper: joining flow records onto discovered clusters reveals shared
+infrastructure — e.g. a spam cluster whose 12 domains share one IP and
+talk to 518 campus hosts on ports 80/1337/2710, and a C&C cluster whose
+32 domains share 3 IPs and talk to 8 hosts on port 80.
+
+Reproduction: simulate edge-router flows from the DNS responses, join
+them onto the discovered clusters, and assert the structural claims —
+malicious clusters concentrate on few server IPs and characteristic
+port sets, with spam clusters reaching far more campus hosts than C&C
+clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series_table
+from repro.netflow import NetflowSimulator, mine_cluster_patterns
+
+
+def test_sec722_cluster_traffic_patterns(
+    benchmark, bench_trace, bench_threatbook, malicious_clusters
+):
+    clusterer, clusters = malicious_clusters
+    reports = clusterer.annotate(bench_threatbook)
+    malicious_reports = [
+        r
+        for r in reports
+        if r.dominant_category in ("spam", "c2", "dga", "phishing")
+        and r.category_share >= 0.5
+        and len(r.cluster) >= 8
+    ]
+    assert malicious_reports, "no malicious clusters to profile"
+
+    simulator = NetflowSimulator(bench_trace.ground_truth, seed=5)
+
+    def run_mining():
+        flows = list(simulator.flows_from(bench_trace.responses))
+        return flows, mine_cluster_patterns(
+            [r.cluster for r in malicious_reports], flows
+        )
+
+    flows, patterns = benchmark.pedantic(run_mining, rounds=1, iterations=1)
+
+    rows = []
+    for report, pattern in zip(malicious_reports, patterns):
+        rows.append(
+            [
+                report.dominant_category,
+                pattern.domain_count,
+                len(pattern.server_ips),
+                len(pattern.campus_hosts),
+                ",".join(str(p) for p in sorted(pattern.destination_ports)),
+            ]
+        )
+    print()
+    print("Section 7.2.2 — per-cluster traffic patterns")
+    print(
+        format_series_table(
+            ["category", "domains", "server IPs", "campus hosts", "ports"],
+            rows,
+        )
+    )
+
+    by_category: dict[str, list] = {}
+    for report, pattern in zip(malicious_reports, patterns):
+        by_category.setdefault(report.dominant_category, []).append(pattern)
+
+    # Spam clusters use the paper's characteristic ports.
+    for pattern in by_category.get("spam", []):
+        if pattern.flow_count:
+            assert pattern.destination_ports <= {80, 1337, 2710}
+    # Classic campaign hosting concentrates many domains on few servers
+    # (the paper's 12-domains/1-IP and 32-domains/3-IPs examples). Not
+    # every cluster must: fast-flux rotates through large pools, and
+    # IP-agile "stealth" families use one server per domain by design.
+    concentrated = [
+        pattern
+        for report, pattern in zip(malicious_reports, patterns)
+        if pattern.flow_count
+        and pattern.domain_count >= 10
+        and len(pattern.server_ips) < 0.5 * pattern.domain_count
+    ]
+    assert concentrated, "no cluster shows campaign-style IP concentration"
+    # Spam reaches a much wider campus audience than C&C beaconing
+    # (the paper's 518 hosts vs 8 hosts contrast).
+    spam_hosts = [
+        len(p.campus_hosts) for p in by_category.get("spam", []) if p.flow_count
+    ]
+    cnc_hosts = [
+        len(p.campus_hosts) for p in by_category.get("c2", []) if p.flow_count
+    ]
+    if spam_hosts and cnc_hosts:
+        assert max(spam_hosts) > 2 * min(cnc_hosts)

@@ -1,0 +1,69 @@
+"""Section 8.2 — comparison against the Exposure baseline.
+
+Paper: Exposure (J48 over time/answer/TTL/lexical statistics of passive
+DNS) reaches AUC 0.88 on the same labeled data, versus 0.94 for the
+embedding-based SVM — a 6.8% relative improvement. The paper attributes
+the gap to statistical features drifting over time and across networks
+(TTL trends, non-English lexical patterns).
+
+Reproduction: identical training data and protocol for both systems; the
+bench asserts the ordering (embeddings beat Exposure) and reports the
+relative improvement.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series_table
+from repro.baselines import ExposureClassifier, ExposureFeatureExtractor
+from repro.core.detector import MaliciousDomainClassifier
+from repro.ml import cross_validated_scores, roc_auc_score
+
+PAPER_OURS = 0.94
+PAPER_EXPOSURE = 0.88
+
+
+def test_sec82_exposure_comparison(
+    benchmark, bench_trace, bench_dataset, bench_features
+):
+    labels = bench_dataset.labels
+
+    def run_exposure():
+        extractor = ExposureFeatureExtractor()
+        features = extractor.extract(
+            bench_trace.queries, bench_trace.responses
+        )
+        matrix = features.rows_for(bench_dataset.domains)
+        scores, __ = cross_validated_scores(
+            matrix, labels, ExposureClassifier, n_splits=10
+        )
+        return scores
+
+    exposure_scores = benchmark.pedantic(run_exposure, rounds=1, iterations=1)
+    exposure_auc = roc_auc_score(labels, exposure_scores)
+
+    ours_scores, __ = cross_validated_scores(
+        bench_features, labels, MaliciousDomainClassifier, n_splits=10
+    )
+    ours_auc = roc_auc_score(labels, ours_scores)
+    improvement = (ours_auc - exposure_auc) / exposure_auc * 100.0
+
+    print()
+    print("Section 8.2 — Exposure baseline comparison (10-fold CV)")
+    print(
+        format_series_table(
+            ["system", "paper AUC", "measured AUC"],
+            [
+                ["graph embedding + SVM (ours)", PAPER_OURS, ours_auc],
+                ["Exposure (J48 on statistics)", PAPER_EXPOSURE, exposure_auc],
+                ["relative improvement (%)", 6.8, improvement],
+            ],
+        )
+    )
+
+    # The comparison's claim: behavioral embeddings beat statistical
+    # features on the same data.
+    assert ours_auc > exposure_auc, (
+        f"embeddings ({ours_auc:.3f}) should beat Exposure ({exposure_auc:.3f})"
+    )
+    # Exposure is a strong baseline, not a strawman.
+    assert exposure_auc > 0.75

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: detect malicious domains in a simulated campus trace.
+
+Runs the paper's full pipeline end to end on a small trace:
+
+1. simulate a campus DNS capture (hosts, browsing, malware infections);
+2. build the three bipartite graphs and prune them (section 4.1);
+3. project to domain-similarity graphs and embed with LINE (sections
+   4.2, 5);
+4. assemble labels from the simulated intelligence feed + VirusTotal
+   validation (section 6.1) and train the RBF SVM (section 6.2);
+5. score held-out domains and report accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    IntelligenceFeed,
+    MaliciousDomainDetector,
+    PipelineConfig,
+    SimulatedVirusTotal,
+    SimulationConfig,
+    TraceGenerator,
+    build_labeled_dataset,
+)
+from repro.embedding.line import LineConfig
+from repro.ml import f1_score, precision_score, recall_score, roc_auc_score
+from repro.ml.model_selection import train_test_split
+
+
+def main() -> None:
+    print("=== 1. Simulating a campus DNS capture ===")
+    config = SimulationConfig.tiny(seed=42)
+    trace = TraceGenerator(config).generate()
+    print(trace.metadata.description)
+    print(f"{trace.query_count} queries captured\n")
+
+    print("=== 2-3. Graphs, projections, LINE embeddings ===")
+    detector = MaliciousDomainDetector(
+        PipelineConfig(embedding=LineConfig(dimension=16, seed=1))
+    )
+    detector.build_graphs(trace.queries, trace.responses, trace.dhcp)
+    print(detector.pruning_report.summary())
+    detector.build_similarity_graphs()
+    for view, graph in detector.similarity_graphs.items():
+        print(
+            f"  {view.value:9s} similarity graph: "
+            f"{graph.node_count} domains, {graph.edge_count} edges"
+        )
+    feature_space = detector.learn_embeddings()
+    print(f"feature dimension: {feature_space.dimension} (3k)\n")
+
+    print("=== 4. Labels and SVM training ===")
+    feed = IntelligenceFeed(trace.ground_truth)
+    virustotal = SimulatedVirusTotal(trace.ground_truth)
+    dataset = build_labeled_dataset(feed, virustotal, detector.domains)
+    print(
+        f"labeled set: {len(dataset)} domains "
+        f"({dataset.malicious_count} malicious / {dataset.benign_count} benign)"
+    )
+
+    features = detector.features_for(dataset.domains)
+    train_x, test_x, train_y, test_y = train_test_split(
+        features, dataset.labels, test_fraction=0.3, seed=7
+    )
+    from repro.core.detector import MaliciousDomainClassifier
+
+    classifier = MaliciousDomainClassifier().fit(train_x, train_y)
+    print(f"trained with {classifier.support_vector_count} support vectors\n")
+
+    print("=== 5. Held-out evaluation ===")
+    scores = classifier.decision_function(test_x)
+    predictions = classifier.predict(test_x)
+    print(f"AUC       {roc_auc_score(test_y, scores):.3f}")
+    print(f"precision {precision_score(test_y, predictions):.3f}")
+    print(f"recall    {recall_score(test_y, predictions):.3f}")
+    print(f"F1        {f1_score(test_y, predictions):.3f}")
+
+    # Show a few concrete verdicts.
+    print("\nsample verdicts (score > 0 => malicious):")
+    sample = np.random.default_rng(3).choice(len(dataset), 8, replace=False)
+    sample_domains = [dataset.domains[int(i)] for i in sample]
+    sample_scores = classifier.decision_function(features[sample])
+    for domain, score in zip(sample_domains, sample_scores):
+        actual = "malicious" if trace.ground_truth.is_malicious(domain) else "benign"
+        print(f"  {domain:28s} d(x)={score:+.3f}   truth: {actual}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro: reproduction of "Detecting Malicious Domains with Behavioral
+Modeling and Graph Embedding" (Lei et al., ICDCS 2019).
+
+The public API centers on :class:`~repro.core.pipeline.MaliciousDomainDetector`
+(DNS logs -> bipartite graphs -> one-mode projections -> LINE embeddings ->
+SVM / X-Means) plus the campus-trace simulator and simulated label feeds
+that substitute for the paper's proprietary data. See DESIGN.md for the
+full system inventory and EXPERIMENTS.md for the reproduced results.
+"""
+
+from repro.core import (
+    DomainCluster,
+    DomainClusterer,
+    FeatureSpace,
+    FeatureView,
+    MaliciousDomainClassifier,
+    MaliciousDomainDetector,
+    PipelineConfig,
+    expand_from_seeds,
+)
+from repro.embedding import LineConfig, LineEmbedding, train_line, tsne_embed
+from repro.graphs import (
+    BipartiteGraph,
+    PruningRules,
+    SimilarityGraph,
+    project_to_similarity,
+)
+from repro.labels import (
+    IntelligenceFeed,
+    LabeledDataset,
+    SimulatedThreatBook,
+    SimulatedVirusTotal,
+    build_labeled_dataset,
+)
+from repro.simulation import SimulatedTrace, SimulationConfig, TraceGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteGraph",
+    "DomainCluster",
+    "DomainClusterer",
+    "FeatureSpace",
+    "FeatureView",
+    "IntelligenceFeed",
+    "LabeledDataset",
+    "LineConfig",
+    "LineEmbedding",
+    "MaliciousDomainClassifier",
+    "MaliciousDomainDetector",
+    "PipelineConfig",
+    "PruningRules",
+    "SimilarityGraph",
+    "SimulatedThreatBook",
+    "SimulatedTrace",
+    "SimulatedVirusTotal",
+    "SimulationConfig",
+    "TraceGenerator",
+    "build_labeled_dataset",
+    "expand_from_seeds",
+    "project_to_similarity",
+    "train_line",
+    "tsne_embed",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Trace analysis and reporting utilities."""
+
+from repro.analysis.stats import TrafficStatistics, compute_traffic_statistics
+from repro.analysis.drift import (
+    TransferDecay,
+    feature_stability,
+    neighborhood_stability,
+    transfer_auc_decay,
+)
+from repro.analysis.federation import (
+    CampaignMatch,
+    ConsensusVerdict,
+    SiteVerdicts,
+    correlate_verdicts,
+    match_campaigns,
+)
+from repro.analysis.reporting import (
+    format_domain_table,
+    format_roc_ascii,
+    format_series_table,
+)
+
+__all__ = [
+    "CampaignMatch",
+    "ConsensusVerdict",
+    "SiteVerdicts",
+    "TrafficStatistics",
+    "TransferDecay",
+    "compute_traffic_statistics",
+    "correlate_verdicts",
+    "feature_stability",
+    "neighborhood_stability",
+    "transfer_auc_decay",
+    "format_domain_table",
+    "format_roc_ascii",
+    "format_series_table",
+    "match_campaigns",
+]

@@ -1,0 +1,127 @@
+"""Temporal stability of features (the paper's section 8.2 argument).
+
+The paper claims behavioral features are "more robust and stable" than
+hand-crafted statistics, whose distributions "change over time and cross
+different networks". This module quantifies both halves of that claim
+over two capture windows:
+
+* :func:`neighborhood_stability` — how much a domain's bipartite-graph
+  neighborhood (its behavioral signature) persists across windows,
+  measured as per-domain Jaccard overlap;
+* :func:`feature_stability` — how strongly each statistical feature's
+  per-domain values correlate across windows (Spearman rank
+  correlation, since detectors threshold on order, not raw values);
+* :func:`transfer_auc_decay` — the operational consequence: a classifier
+  trained on window-1 features loses AUC when applied to window-2
+  features of the same domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.ml.metrics import roc_auc_score
+
+
+def neighborhood_stability(
+    window_a: BipartiteGraph,
+    window_b: BipartiteGraph,
+    domains: Sequence[str],
+) -> dict[str, float]:
+    """Per-domain Jaccard overlap of neighborhoods across two windows.
+
+    Domains absent from either window are skipped (no basis for
+    comparison).
+    """
+    stability: dict[str, float] = {}
+    for domain in domains:
+        hood_a = window_a.adjacency.get(domain)
+        hood_b = window_b.adjacency.get(domain)
+        if not hood_a or not hood_b:
+            continue
+        stability[domain] = len(hood_a & hood_b) / len(hood_a | hood_b)
+    return stability
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (constant inputs give 0.0)."""
+    if a.size < 3 or np.all(a == a[0]) or np.all(b == b[0]):
+        return 0.0
+    rank_a = np.argsort(np.argsort(a)).astype(float)
+    rank_b = np.argsort(np.argsort(b)).astype(float)
+    sd_a = rank_a.std()
+    sd_b = rank_b.std()
+    if sd_a == 0 or sd_b == 0:
+        return 0.0
+    return float(
+        np.mean((rank_a - rank_a.mean()) * (rank_b - rank_b.mean()))
+        / (sd_a * sd_b)
+    )
+
+
+def feature_stability(
+    features_a: np.ndarray,
+    features_b: np.ndarray,
+    feature_names: Sequence[str] | None = None,
+) -> dict[str, float]:
+    """Per-feature Spearman correlation of values across two windows.
+
+    Rows must be aligned (same domain per row in both matrices).
+    """
+    features_a = np.asarray(features_a, dtype=float)
+    features_b = np.asarray(features_b, dtype=float)
+    if features_a.shape != features_b.shape:
+        raise ValueError("windows disagree on feature matrix shape")
+    columns = features_a.shape[1]
+    if feature_names is None:
+        feature_names = [f"f{i}" for i in range(columns)]
+    if len(feature_names) != columns:
+        raise ValueError("feature_names length mismatch")
+    return {
+        name: _spearman(features_a[:, i], features_b[:, i])
+        for i, name in enumerate(feature_names)
+    }
+
+
+@dataclass(slots=True)
+class TransferDecay:
+    """Within-window vs cross-window classifier quality."""
+
+    within_auc: float
+    transfer_auc: float
+
+    @property
+    def decay(self) -> float:
+        """AUC lost when features drift under a fixed model."""
+        return self.within_auc - self.transfer_auc
+
+
+def transfer_auc_decay(
+    model_factory: Callable[[], object],
+    features_train: np.ndarray,
+    features_shifted: np.ndarray,
+    labels: np.ndarray,
+) -> TransferDecay:
+    """Train on window-1 features; score window-1 and window-2 features.
+
+    ``features_train`` and ``features_shifted`` describe the *same
+    domains* (aligned rows, identical labels) measured in two windows, so
+    any AUC drop isolates feature drift from label shift.
+    """
+    labels = np.asarray(labels)
+    model = model_factory()
+    model.fit(features_train, labels)
+    if hasattr(model, "decision_function"):
+        scores_within = model.decision_function(features_train)
+        scores_shifted = model.decision_function(features_shifted)
+    else:
+        scores_within = model.predict_proba(features_train)[:, 1]
+        scores_shifted = model.predict_proba(features_shifted)[:, 1]
+    return TransferDecay(
+        within_auc=roc_auc_score(labels, scores_within),
+        transfer_auc=roc_auc_score(labels, scores_shifted),
+    )

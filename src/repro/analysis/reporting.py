@@ -1,0 +1,78 @@
+"""Plain-text reporting helpers used by examples and benchmarks.
+
+Everything here renders to monospace text (the environment has no
+plotting stack): simple aligned tables and an ASCII ROC plot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_domain_table(
+    domains: Sequence[str], columns: int = 3, width: int = 24
+) -> str:
+    """Lay out domain names in a grid, like the paper's Tables 1-2."""
+    if columns < 1:
+        raise ValueError("columns must be at least 1")
+    lines = []
+    for start in range(0, len(domains), columns):
+        row = domains[start : start + columns]
+        lines.append("  ".join(name.ljust(width) for name in row).rstrip())
+    return "\n".join(lines)
+
+
+def format_series_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Aligned table with numeric formatting."""
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    rendered = [[render(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(headers)))
+        for row in rendered
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+def format_roc_ascii(
+    fpr: np.ndarray, tpr: np.ndarray, width: int = 61, height: int = 21
+) -> str:
+    """Render an ROC curve as an ASCII plot (TPR vs FPR)."""
+    grid = [[" "] * width for _ in range(height)]
+    # Diagonal (chance line).
+    for i in range(min(width, height * 3)):
+        x = int(i / max(width - 1, 1) * (width - 1))
+        y = int(i / max(width - 1, 1) * (height - 1))
+        if 0 <= y < height:
+            grid[height - 1 - y][x] = "."
+    xs = np.linspace(0.0, 1.0, width)
+    curve = np.interp(xs, fpr, tpr)
+    for column, value in enumerate(curve):
+        row = height - 1 - int(round(value * (height - 1)))
+        row = min(max(row, 0), height - 1)
+        grid[row][column] = "*"
+    lines = ["TPR"]
+    for row_index, row in enumerate(grid):
+        prefix = "1.0|" if row_index == 0 else ("0.0|" if row_index == height - 1 else "   |")
+        lines.append(prefix + "".join(row))
+    lines.append("   +" + "-" * width)
+    lines.append("    0.0" + " " * (width - 10) + "FPR 1.0")
+    return "\n".join(lines)

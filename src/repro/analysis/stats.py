@@ -1,0 +1,116 @@
+"""Trace-level traffic statistics (paper Figure 1).
+
+Figure 1 plots, over the one-month capture: (a) DNS query volumes per
+time bin and (b) the number of unique FQDNs and e2LDs per bin. This
+module computes those series from any iterable of queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.dns.names import is_valid_domain_name
+from repro.dns.psl import PublicSuffixList, default_psl
+from repro.dns.types import DnsQuery
+from repro.errors import DomainNameError
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(slots=True)
+class TrafficStatistics:
+    """Per-bin query volumes and unique-name counts."""
+
+    bin_seconds: float
+    query_volume: np.ndarray
+    unique_fqdns: np.ndarray
+    unique_e2lds: np.ndarray
+    total_queries: int = 0
+    total_unique_fqdns: int = 0
+    total_unique_e2lds: int = 0
+
+    @property
+    def bin_count(self) -> int:
+        return int(self.query_volume.size)
+
+    def peak_bin(self) -> int:
+        """Index of the busiest bin."""
+        return int(np.argmax(self.query_volume))
+
+    def daily_profile(self) -> np.ndarray:
+        """Mean query volume per hour-of-day (needs hourly bins)."""
+        bins_per_day = int(round(86_400.0 / self.bin_seconds))
+        usable = (self.bin_count // bins_per_day) * bins_per_day
+        if usable == 0:
+            return self.query_volume.astype(float)
+        return (
+            self.query_volume[:usable]
+            .reshape(-1, bins_per_day)
+            .mean(axis=0)
+        )
+
+
+def compute_traffic_statistics(
+    queries: Iterable[DnsQuery],
+    bin_seconds: float = SECONDS_PER_HOUR,
+    psl: PublicSuffixList | None = None,
+) -> TrafficStatistics:
+    """Compute Figure-1-style series from a query stream."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    if psl is None:
+        psl = default_psl()
+
+    volumes: dict[int, int] = {}
+    fqdns_per_bin: dict[int, set[str]] = {}
+    e2lds_per_bin: dict[int, set[str]] = {}
+    all_fqdns: set[str] = set()
+    all_e2lds: set[str] = set()
+    e2ld_cache: dict[str, str | None] = {}
+    total = 0
+
+    for query in queries:
+        total += 1
+        bin_index = int(query.timestamp // bin_seconds)
+        volumes[bin_index] = volumes.get(bin_index, 0) + 1
+        fqdns_per_bin.setdefault(bin_index, set()).add(query.qname)
+        all_fqdns.add(query.qname)
+        e2ld = e2ld_cache.get(query.qname, "")
+        if e2ld == "":
+            e2ld = None
+            if is_valid_domain_name(query.qname):
+                try:
+                    e2ld = psl.registered_domain(query.qname)
+                except DomainNameError:
+                    e2ld = None
+            e2ld_cache[query.qname] = e2ld
+        if e2ld is not None:
+            e2lds_per_bin.setdefault(bin_index, set()).add(e2ld)
+            all_e2lds.add(e2ld)
+
+    if volumes:
+        size = max(volumes) + 1
+    else:
+        size = 0
+    volume_series = np.zeros(size, dtype=np.int64)
+    fqdn_series = np.zeros(size, dtype=np.int64)
+    e2ld_series = np.zeros(size, dtype=np.int64)
+    for bin_index, count in volumes.items():
+        volume_series[bin_index] = count
+    for bin_index, names in fqdns_per_bin.items():
+        fqdn_series[bin_index] = len(names)
+    for bin_index, names in e2lds_per_bin.items():
+        e2ld_series[bin_index] = len(names)
+
+    return TrafficStatistics(
+        bin_seconds=bin_seconds,
+        query_volume=volume_series,
+        unique_fqdns=fqdn_series,
+        unique_e2lds=e2ld_series,
+        total_queries=total,
+        total_unique_fqdns=len(all_fqdns),
+        total_unique_e2lds=len(all_e2lds),
+    )

@@ -1,0 +1,24 @@
+"""Baseline detectors.
+
+Exposure (Bilge et al.) is the paper's section 8.2 comparison; the
+belief-propagation graph-inference detector covers the related-work
+graph-based category (section 9, Manadhata et al.).
+"""
+
+from repro.baselines.exposure import (
+    ExposureClassifier,
+    ExposureFeatureExtractor,
+    ExposureFeatures,
+)
+from repro.baselines.graph_inference import (
+    BeliefPropagationConfig,
+    GraphInferenceDetector,
+)
+
+__all__ = [
+    "BeliefPropagationConfig",
+    "ExposureClassifier",
+    "ExposureFeatureExtractor",
+    "ExposureFeatures",
+    "GraphInferenceDetector",
+]

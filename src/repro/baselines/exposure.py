@@ -1,0 +1,384 @@
+"""Exposure baseline (Bilge et al., TISSEC 2014; paper section 8.2).
+
+Exposure detects malicious domains from passive DNS with a J48 decision
+tree over four statistical feature groups:
+
+* **time-based** — short life, daily similarity, regularly repeating
+  patterns, access ratios;
+* **DNS answer-based** — number of distinct IPs, number of distinct
+  address prefixes ("countries" in the original), reverse-DNS style
+  sharing: how many other domains the answers are shared with;
+* **TTL-based** — average/std-dev of TTL, number of distinct TTL values,
+  fraction of low-TTL answers;
+* **lexical** — ratio of numerical characters, length of the longest
+  meaningful substring (LMS), name length.
+
+The paper reimplements these features on its own traffic and trains a J48
+tree, reporting AUC 0.88 vs 0.94 for the embedding approach. This module
+does the same over our trace records and
+:class:`repro.ml.tree.DecisionTreeClassifier`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.dns.names import is_valid_domain_name
+from repro.dns.psl import PublicSuffixList, default_psl
+from repro.dns.types import DnsQuery, DnsResponse
+from repro.errors import DatasetError, DomainNameError
+from repro.ml.tree import DecisionTreeClassifier
+
+SECONDS_PER_DAY = 86_400.0
+
+# The feature set follows Bilge et al.'s four groups. "Reverse DNS query
+# results" is omitted: the trace substrate carries no PTR zone data, and
+# the paper's reimplementation (section 8.2) works from the same passive
+# logs we have. "Repeating patterns" is realized as the coefficient of
+# variation of daily query counts, "access ratio" as the fraction of
+# capture days the domain was queried on.
+FEATURE_NAMES: tuple[str, ...] = (
+    # Time-based (Exposure features 1-4).
+    "short_life",
+    "daily_similarity",
+    "repeating_patterns",
+    "access_ratio",
+    # DNS answer-based (features 5-7; reverse DNS omitted, see above).
+    "distinct_ip_count",
+    "distinct_prefix_count",
+    "shared_ip_domain_count",
+    # TTL-based (features 9-13).
+    "ttl_mean",
+    "ttl_stddev",
+    "distinct_ttl_count",
+    "ttl_change_count",
+    "low_ttl_fraction",
+    # Lexical (features 14-15).
+    "numerical_ratio",
+    "longest_meaningful_substring",
+)
+
+# Word list used for the LMS feature (Exposure uses an English dictionary;
+# we embed a compact one plus the stems our benign generator uses).
+_MEANINGFUL_WORDS = frozenset(
+    """
+    able acid aged also area army away baby back ball band bank base bath
+    bear beat bell belt bird blow blue boat body bone book born both bowl
+    bulk burn bush call calm came camp card care case cash cast cell chat
+    chip city club coal coat code cold come cook cool cope copy core cost
+    crew crop dark data date dawn days dead deal dear debt deep deny desk
+    dial diet disc disk does done door dose down draw drew drop drug dual
+    duke dust duty each earn ease east easy edge else even ever evil exit
+    face fact fail fair fall farm fast fate fear feed feel feet fell felt
+    file fill film find fine fire firm fish five flat flow food foot ford
+    form fort four free from fuel full fund gain game gate gave gear gift
+    girl give glad goal goes gold golf gone good gray grew grey grow gulf
+    hair half hall hand hang hard harm hate have head hear heat held hell
+    help mail news shop blog wiki labs base zone works press media forum
+    cloud tech store campus river stone maple cedar summit harbor lantern
+    meadow orchid pioneer quartz raven sierra timber violet willow zephyr
+    aurora beacon canyon delta ember falcon garnet horizon indigo juniper
+    kestrel lagoon mosaic nimbus onyx prairie quill ridge sparrow tundra
+    umber vertex wander xenon yonder zenith anchor breeze cobalt drift
+    echo flint grove haven isle jade lumen mist metrics track static api
+    pixel secure account verify login billing support wallet bank pay
+    auth portal update sync status report gate panel node relay proxy
+    profit turmeric canvas solar flight permit detect cure wood belly
+    ankle nano cook liver fatty easy best nice clean google mail www web
+    """.split()
+)
+
+
+@dataclass(slots=True)
+class ExposureFeatures:
+    """Feature matrix aligned with a domain list."""
+
+    domains: list[str]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.matrix.shape != (len(self.domains), len(FEATURE_NAMES)):
+            raise DatasetError(
+                f"feature matrix shape {self.matrix.shape} does not match "
+                f"{len(self.domains)} domains x {len(FEATURE_NAMES)} features"
+            )
+
+    def rows_for(self, domains: Sequence[str]) -> np.ndarray:
+        index = {domain: i for i, domain in enumerate(self.domains)}
+        missing = [d for d in domains if d not in index]
+        if missing:
+            raise DatasetError(
+                f"{len(missing)} domains lack Exposure features, e.g. {missing[:3]}"
+            )
+        return self.matrix[[index[d] for d in domains]]
+
+
+def _longest_meaningful_substring(label: str) -> int:
+    """Length of the longest dictionary word contained in ``label``."""
+    best = 0
+    n = len(label)
+    for start in range(n):
+        for end in range(start + best + 1, n + 1):
+            if label[start:end] in _MEANINGFUL_WORDS:
+                best = end - start
+    return best
+
+
+class ExposureFeatureExtractor:
+    """Aggregates per-domain statistics from a DNS trace."""
+
+    def __init__(
+        self,
+        time_window_days: float | None = None,
+        low_ttl_threshold: int = 100,
+        psl: PublicSuffixList | None = None,
+    ) -> None:
+        self.low_ttl_threshold = low_ttl_threshold
+        self._psl = psl or default_psl()
+        self._time_window_days = time_window_days
+
+    def extract(
+        self,
+        queries: Iterable[DnsQuery],
+        responses: Iterable[DnsResponse],
+    ) -> ExposureFeatures:
+        """Compute the four feature groups for every observed e2LD."""
+        per_day_counts: dict[str, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        hour_profiles: dict[str, np.ndarray] = {}
+        query_counts: dict[str, int] = defaultdict(int)
+        last_seen: dict[str, float] = {}
+        first_seen: dict[str, float] = {}
+        e2ld_cache: dict[str, str | None] = {}
+
+        def to_e2ld(qname: str) -> str | None:
+            cached = e2ld_cache.get(qname, "")
+            if cached != "":
+                return cached
+            if not is_valid_domain_name(qname):
+                e2ld_cache[qname] = None
+                return None
+            try:
+                e2ld = self._psl.registered_domain(qname)
+            except DomainNameError:
+                e2ld = None
+            e2ld_cache[qname] = e2ld
+            return e2ld
+
+        max_time = 0.0
+        for query in queries:
+            e2ld = to_e2ld(query.qname)
+            if e2ld is None:
+                continue
+            day = int(query.timestamp // SECONDS_PER_DAY)
+            per_day_counts[e2ld][day] += 1
+            profile = hour_profiles.get(e2ld)
+            if profile is None:
+                profile = np.zeros(24)
+                hour_profiles[e2ld] = profile
+            profile[int(query.timestamp % SECONDS_PER_DAY // 3600) % 24] += 1
+            query_counts[e2ld] += 1
+            first_seen.setdefault(e2ld, query.timestamp)
+            last_seen[e2ld] = max(last_seen.get(e2ld, 0.0), query.timestamp)
+            max_time = max(max_time, query.timestamp)
+
+        ips: dict[str, set[str]] = defaultdict(set)
+        ttls: dict[str, list[int]] = defaultdict(list)
+        ttl_changes: dict[str, int] = defaultdict(int)
+        last_ttl: dict[str, int] = {}
+        response_counts: dict[str, int] = defaultdict(int)
+        for response in responses:
+            e2ld = to_e2ld(response.qname)
+            if e2ld is None:
+                continue
+            response_counts[e2ld] += 1
+            if response.nxdomain:
+                continue
+            min_ttl = response.min_ttl
+            if min_ttl is not None:
+                previous = last_ttl.get(e2ld)
+                if previous is not None and previous != min_ttl:
+                    ttl_changes[e2ld] += 1
+                last_ttl[e2ld] = min_ttl
+            for record in response.answers:
+                ttls[e2ld].append(record.ttl)
+            for ip in response.resolved_ips:
+                ips[e2ld].add(ip)
+
+        # Inverted IP index for the sharing feature.
+        domains_per_ip: dict[str, int] = defaultdict(int)
+        for domain, ip_set in ips.items():
+            for ip in ip_set:
+                domains_per_ip[ip] += 1
+
+        observed = sorted(set(query_counts) | set(response_counts))
+        trace_days = (
+            self._time_window_days
+            if self._time_window_days is not None
+            else max(max_time / SECONDS_PER_DAY, 1e-9)
+        )
+        matrix = np.zeros((len(observed), len(FEATURE_NAMES)))
+        for row, domain in enumerate(observed):
+            matrix[row] = self._feature_row(
+                domain,
+                per_day_counts[domain],
+                hour_profiles.get(domain, np.zeros(24)),
+                first_seen.get(domain, 0.0),
+                last_seen.get(domain, 0.0),
+                ips[domain],
+                ttls[domain],
+                ttl_changes[domain],
+                domains_per_ip,
+                trace_days,
+            )
+        self._impute_unresolved(observed, matrix, ips)
+        return ExposureFeatures(domains=observed, matrix=matrix)
+
+    @staticmethod
+    def _impute_unresolved(
+        observed: list[str],
+        matrix: np.ndarray,
+        ips: dict[str, set[str]],
+    ) -> None:
+        """Median-impute answer/TTL features for never-resolving domains.
+
+        Exposure's answer- and TTL-based features are defined over
+        *successful* resolutions; Bilge et al. scope their system to
+        domains that resolve. Domains observed only through NXDOMAIN
+        (unregistered DGA candidates) have no such measurements — leaving
+        them at zero would hand the classifier an artificial
+        "missing == malicious" shortcut the original system never had, so
+        those cells get the median of the resolved population instead.
+        """
+        answer_ttl_columns = [
+            FEATURE_NAMES.index(name)
+            for name in (
+                "distinct_ip_count",
+                "distinct_prefix_count",
+                "shared_ip_domain_count",
+                "ttl_mean",
+                "ttl_stddev",
+                "distinct_ttl_count",
+                "ttl_change_count",
+                "low_ttl_fraction",
+            )
+        ]
+        resolved_rows = np.array(
+            [bool(ips[domain]) for domain in observed]
+        )
+        if not resolved_rows.any() or resolved_rows.all():
+            return
+        medians = np.median(
+            matrix[np.ix_(resolved_rows, answer_ttl_columns)], axis=0
+        )
+        unresolved = np.flatnonzero(~resolved_rows)
+        for column_position, column in enumerate(answer_ttl_columns):
+            matrix[unresolved, column] = medians[column_position]
+
+    def _feature_row(
+        self,
+        domain: str,
+        day_counts: dict[int, int],
+        hour_profile: np.ndarray,
+        first: float,
+        last: float,
+        ip_set: set[str],
+        ttl_list: list[int],
+        ttl_change_count: int,
+        domains_per_ip: dict[str, int],
+        trace_days: float,
+    ) -> np.ndarray:
+        active_days = len(day_counts)
+        lifetime_days = max((last - first) / SECONDS_PER_DAY, 0.0)
+        counts = np.array(list(day_counts.values()), dtype=float)
+        mean_daily = counts.mean() if counts.size else 0.0
+        repeating = (
+            float(counts.std() / mean_daily) if mean_daily > 0 else 0.0
+        )
+        # Daily similarity: overlap between the hour-of-day profile and a
+        # flat profile — steady domains score high, campaign spikes low.
+        total_hours = hour_profile.sum()
+        if total_hours > 0:
+            normalized = hour_profile / total_hours
+            daily_similarity = float(
+                1.0 - np.abs(normalized - 1.0 / 24).sum() / 2.0
+            )
+        else:
+            daily_similarity = 0.0
+
+        prefixes = {ip.rsplit(".", 2)[0] for ip in ip_set}
+        shared = max((domains_per_ip[ip] - 1 for ip in ip_set), default=0)
+
+        ttl_array = np.array(ttl_list, dtype=float)
+        ttl_mean = float(ttl_array.mean()) if ttl_array.size else 0.0
+        ttl_std = float(ttl_array.std()) if ttl_array.size else 0.0
+        distinct_ttl = len(set(ttl_list))
+        low_ttl_fraction = (
+            float(np.mean(ttl_array < self.low_ttl_threshold))
+            if ttl_array.size
+            else 0.0
+        )
+
+        sld = domain.split(".")[0]
+        digits = sum(ch.isdigit() for ch in domain)
+
+        return np.array(
+            [
+                1.0 if lifetime_days < 0.2 * trace_days else 0.0,
+                daily_similarity,
+                repeating,
+                active_days / max(trace_days, 1e-9),
+                len(ip_set),
+                len(prefixes),
+                shared,
+                ttl_mean,
+                ttl_std,
+                distinct_ttl,
+                ttl_change_count,
+                low_ttl_fraction,
+                digits / max(len(domain), 1),
+                _longest_meaningful_substring(sld),
+            ]
+        )
+
+
+class ExposureClassifier:
+    """J48 decision tree over Exposure features."""
+
+    def __init__(
+        self,
+        min_samples_leaf: int = 2,
+        confidence: float | None = 0.25,
+        max_depth: int | None = None,
+    ) -> None:
+        self._tree = DecisionTreeClassifier(
+            min_samples_leaf=min_samples_leaf,
+            confidence=confidence,
+            max_depth=max_depth,
+        )
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "ExposureClassifier":
+        self._tree.fit(features, labels)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._tree.predict(features)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return self._tree.predict_proba(features)
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Malicious-class probability, usable as a ranking score."""
+        return self.predict_proba(features)[:, 1]
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return self._tree.score(features, labels)
+
+    @property
+    def tree_node_count(self) -> int:
+        return self._tree.node_count

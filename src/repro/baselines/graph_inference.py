@@ -1,0 +1,173 @@
+"""Graph-inference baseline: belief propagation on the host-domain graph.
+
+The paper's related work (section 9) cites Manadhata et al. (ESORICS
+2014), which labels domains by running loopy belief propagation over the
+host-domain bipartite graph: seed-labeled domains inject evidence, and a
+homophily edge potential ("hosts that talk to malicious domains tend to
+talk to other malicious domains") spreads it.
+
+This implementation follows that construction:
+
+* binary states {benign, malicious} per vertex (hosts and domains);
+* seed domains get strong priors, everything else a mild benign prior
+  (the base rate of maliciousness);
+* sum-product message passing with an epsilon-homophily propagation
+  matrix, run for a fixed number of iterations or until convergence;
+* the final malicious belief per domain is the ranking score.
+
+It serves as the third comparison point alongside Exposure
+(classification on statistics) and the paper's embedding approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphConstructionError
+from repro.graphs.bipartite import BipartiteGraph
+
+_STATES = 2  # 0 = benign, 1 = malicious
+
+
+@dataclass(slots=True)
+class BeliefPropagationConfig:
+    """Inference knobs (defaults follow the ESORICS'14 setup)."""
+
+    # Edge potential: probability that neighbors share a state.
+    homophily: float = 0.51
+    # Prior belief for seed-labeled malicious / benign domains.
+    seed_confidence: float = 0.99
+    # Prior malicious probability for unlabeled vertices (base rate).
+    base_rate: float = 0.05
+    max_iterations: int = 15
+    tolerance: float = 1e-4
+
+    def validate(self) -> None:
+        if not 0.5 < self.homophily < 1.0:
+            raise ValueError("homophily must lie in (0.5, 1.0)")
+        if not 0.5 < self.seed_confidence < 1.0:
+            raise ValueError("seed_confidence must lie in (0.5, 1.0)")
+        if not 0.0 < self.base_rate < 1.0:
+            raise ValueError("base_rate must lie in (0, 1)")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+
+
+class GraphInferenceDetector:
+    """Loopy BP over the host-domain graph, seeded with known labels."""
+
+    def __init__(self, config: BeliefPropagationConfig | None = None) -> None:
+        self.config = config or BeliefPropagationConfig()
+        self.config.validate()
+        self._beliefs: dict[str, float] | None = None
+        self.iterations_: int | None = None
+
+    def fit(
+        self,
+        host_domain: BipartiteGraph,
+        seed_malicious: set[str],
+        seed_benign: set[str],
+    ) -> "GraphInferenceDetector":
+        """Run inference; beliefs become available via :meth:`scores`."""
+        if host_domain.domain_count == 0:
+            raise GraphConstructionError("host-domain graph is empty")
+        config = self.config
+
+        domains = list(host_domain.adjacency)
+        hosts = sorted(host_domain.right_vertices, key=repr)
+        domain_index = {d: i for i, d in enumerate(domains)}
+        host_index = {h: len(domains) + i for i, h in enumerate(hosts)}
+        n = len(domains) + len(hosts)
+
+        # Adjacency as edge lists (vertex pairs, each direction).
+        edges: list[tuple[int, int]] = []
+        for domain, neighbor_hosts in host_domain.adjacency.items():
+            d = domain_index[domain]
+            for host in neighbor_hosts:
+                edges.append((d, host_index[host]))
+        edge_array = np.array(edges, dtype=np.int64)
+
+        # Priors phi(v).
+        priors = np.tile(
+            [1.0 - config.base_rate, config.base_rate], (n, 1)
+        )
+        for domain in seed_malicious:
+            index = domain_index.get(domain)
+            if index is not None:
+                priors[index] = [1.0 - config.seed_confidence,
+                                 config.seed_confidence]
+        for domain in seed_benign:
+            index = domain_index.get(domain)
+            if index is not None:
+                priors[index] = [config.seed_confidence,
+                                 1.0 - config.seed_confidence]
+
+        # Propagation matrix psi(s, t).
+        psi = np.array(
+            [
+                [config.homophily, 1.0 - config.homophily],
+                [1.0 - config.homophily, config.homophily],
+            ]
+        )
+
+        # Messages m_{u->v}: one per directed edge, init uniform.
+        directed = np.vstack([edge_array, edge_array[:, ::-1]])
+        messages = np.full((directed.shape[0], _STATES), 0.5)
+        # Index: for each vertex, which directed edges point *into* it.
+        incoming: list[list[int]] = [[] for _ in range(n)]
+        outgoing_reverse = np.empty(directed.shape[0], dtype=np.int64)
+        edge_lookup = {
+            (int(u), int(v)): i for i, (u, v) in enumerate(directed)
+        }
+        for i, (u, v) in enumerate(directed):
+            incoming[int(v)].append(i)
+            outgoing_reverse[i] = edge_lookup[(int(v), int(u))]
+
+        iterations = 0
+        for iterations in range(1, config.max_iterations + 1):
+            # Belief aggregation: prod of incoming messages times prior.
+            log_beliefs = np.log(np.maximum(priors, 1e-12)).copy()
+            for v in range(n):
+                for i in incoming[v]:
+                    log_beliefs[v] += np.log(np.maximum(messages[i], 1e-12))
+
+            # New message u->v excludes v's own contribution
+            # (divide out the reverse message), then applies psi.
+            new_messages = np.empty_like(messages)
+            for i, (u, v) in enumerate(directed):
+                contribution = log_beliefs[int(u)] - np.log(
+                    np.maximum(messages[outgoing_reverse[i]], 1e-12)
+                )
+                stabilized = np.exp(contribution - contribution.max())
+                outgoing = stabilized @ psi
+                new_messages[i] = outgoing / outgoing.sum()
+            delta = float(np.abs(new_messages - messages).max())
+            messages = new_messages
+            if delta < config.tolerance:
+                break
+
+        log_beliefs = np.log(np.maximum(priors, 1e-12)).copy()
+        for v in range(n):
+            for i in incoming[v]:
+                log_beliefs[v] += np.log(np.maximum(messages[i], 1e-12))
+        stabilized = np.exp(
+            log_beliefs - log_beliefs.max(axis=1, keepdims=True)
+        )
+        normalized = stabilized / stabilized.sum(axis=1, keepdims=True)
+
+        self._beliefs = {
+            domain: float(normalized[domain_index[domain], 1])
+            for domain in domains
+        }
+        self.iterations_ = iterations
+        return self
+
+    def scores(self, domains: list[str]) -> np.ndarray:
+        """Malicious beliefs for ``domains`` (base rate when unseen)."""
+        if self._beliefs is None:
+            raise GraphConstructionError("call fit() before scores()")
+        return np.array(
+            [self._beliefs.get(d, self.config.base_rate) for d in domains]
+        )

@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+Four subcommands mirror an operator's workflow:
+
+* ``repro-dns simulate OUTDIR`` — generate a campus capture to disk;
+* ``repro-dns stats TRACEDIR`` — Figure-1 traffic statistics;
+* ``repro-dns detect TRACEDIR`` — run the full pipeline, print ranked
+  domain scores (and write them to a TSV);
+* ``repro-dns cluster TRACEDIR`` — mine and annotate domain clusters.
+
+Run any subcommand with ``-h`` for its options. The entry point is also
+callable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import format_series_table
+from repro.analysis.stats import compute_traffic_statistics
+from repro.core.clustering import DomainClusterer
+from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.dns.dhcp import DhcpLog
+from repro.dns.logfmt import DnsTraceReader
+from repro.dns.types import DnsQuery, DnsResponse
+from repro.embedding.line import LineConfig
+from repro.labels import (
+    IntelligenceFeed,
+    SimulatedThreatBook,
+    SimulatedVirusTotal,
+    build_labeled_dataset,
+)
+from repro.simulation import SimulationConfig, TraceGenerator
+from repro.simulation.groundtruth import GroundTruth
+
+
+def _load_trace_dir(directory: Path):
+    """Read (queries, responses, dhcp, truth-or-None) from a trace dir."""
+    records = list(DnsTraceReader(directory / "dns.log"))
+    queries = [r for r in records if isinstance(r, DnsQuery)]
+    responses = [r for r in records if isinstance(r, DnsResponse)]
+    dhcp_path = directory / "dhcp.log"
+    dhcp = DhcpLog.load(dhcp_path) if dhcp_path.exists() else None
+    truth_path = directory / "groundtruth.tsv"
+    truth = GroundTruth.load(truth_path) if truth_path.exists() else None
+    return queries, responses, dhcp, truth
+
+
+def _build_detector(args, queries, responses, dhcp) -> MaliciousDomainDetector:
+    config = PipelineConfig(
+        embedding=LineConfig(dimension=args.dimension, seed=args.seed)
+    )
+    detector = MaliciousDomainDetector(config)
+    detector.build_graphs(queries, responses, dhcp)
+    print(detector.pruning_report.summary(), file=sys.stderr)
+    detector.build_similarity_graphs()
+    detector.learn_embeddings()
+    return detector
+
+
+def cmd_simulate(args) -> int:
+    if args.scale == "tiny":
+        config = SimulationConfig.tiny(seed=args.seed)
+    elif args.scale == "paper":
+        config = SimulationConfig.paper_scale(seed=args.seed)
+    else:
+        config = SimulationConfig(seed=args.seed)
+    if args.days is not None:
+        config.duration_days = args.days
+    trace = TraceGenerator(config).generate()
+    outdir = Path(args.outdir)
+    trace.save(outdir)
+    print(trace.metadata.description)
+    print(f"wrote dns.log / dhcp.log / groundtruth.tsv under {outdir}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    queries, __, __, __ = _load_trace_dir(Path(args.tracedir))
+    stats = compute_traffic_statistics(queries, bin_seconds=args.bin_seconds)
+    print(
+        format_series_table(
+            ["metric", "value"],
+            [
+                ["total queries", stats.total_queries],
+                ["unique FQDNs", stats.total_unique_fqdns],
+                ["unique e2LDs", stats.total_unique_e2lds],
+                ["bins", stats.bin_count],
+                ["peak bin volume", int(stats.query_volume.max())],
+            ],
+        )
+    )
+    if args.profile:
+        profile = stats.daily_profile()
+        print("\nhour-of-day profile (mean queries per hour):")
+        for hour, value in enumerate(profile):
+            bar = "#" * int(50 * value / max(profile.max(), 1e-9))
+            print(f"  {hour:02d}:00 {value:10.1f} {bar}")
+    return 0
+
+
+def cmd_detect(args) -> int:
+    directory = Path(args.tracedir)
+    queries, responses, dhcp, truth = _load_trace_dir(directory)
+    if truth is None:
+        print(
+            "detect requires groundtruth.tsv for the simulated label feeds",
+            file=sys.stderr,
+        )
+        return 2
+    detector = _build_detector(args, queries, responses, dhcp)
+    feed = IntelligenceFeed(truth)
+    virustotal = SimulatedVirusTotal(truth)
+    dataset = build_labeled_dataset(feed, virustotal, detector.domains)
+    detector.fit(dataset)
+
+    scores = detector.decision_scores(detector.domains)
+    order = np.argsort(-scores)
+    out_path = directory / "scores.tsv"
+    with open(out_path, "w", encoding="utf-8") as stream:
+        for index in order:
+            stream.write(f"{detector.domains[int(index)]}\t{scores[index]:.6f}\n")
+    print(f"wrote {len(scores)} scored domains to {out_path}")
+    print("\ntop suspects:")
+    for index in order[: args.top]:
+        print(f"  {scores[index]:+8.3f}  {detector.domains[int(index)]}")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    directory = Path(args.tracedir)
+    queries, responses, dhcp, truth = _load_trace_dir(directory)
+    detector = _build_detector(args, queries, responses, dhcp)
+    clusterer = DomainClusterer(k_min=4, k_max=args.k_max, seed=args.seed)
+    clusters = clusterer.fit(
+        detector.domains, detector.features_for(detector.domains)
+    )
+    print(f"{len(clusters)} clusters")
+    if truth is not None:
+        threatbook = SimulatedThreatBook(truth)
+        for report in clusterer.annotate(threatbook):
+            if report.dominant_category == "unknown":
+                continue
+            members = report.cluster.domains
+            print(
+                f"  cluster {report.cluster.cluster_id:3d}: {len(members):5d} "
+                f"domains, {report.category_share:.0%} "
+                f"{report.dominant_category}: {', '.join(members[:3])}..."
+            )
+    else:
+        for cluster in clusters:
+            print(
+                f"  cluster {cluster.cluster_id:3d}: {len(cluster):5d} domains: "
+                f"{', '.join(cluster.domains[:3])}..."
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dns",
+        description="Malicious-domain detection via behavioral modeling "
+        "and graph embedding (ICDCS 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a campus DNS capture")
+    p_sim.add_argument("outdir")
+    p_sim.add_argument("--scale", choices=["tiny", "default", "paper"],
+                       default="tiny")
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--days", type=float, default=None)
+    p_sim.set_defaults(handler=cmd_simulate)
+
+    p_stats = sub.add_parser("stats", help="Figure-1 traffic statistics")
+    p_stats.add_argument("tracedir")
+    p_stats.add_argument("--bin-seconds", type=float, default=3600.0)
+    p_stats.add_argument("--profile", action="store_true",
+                         help="print the hour-of-day profile")
+    p_stats.set_defaults(handler=cmd_stats)
+
+    p_detect = sub.add_parser("detect", help="score domains in a capture")
+    p_detect.add_argument("tracedir")
+    p_detect.add_argument("--dimension", type=int, default=16)
+    p_detect.add_argument("--seed", type=int, default=13)
+    p_detect.add_argument("--top", type=int, default=15)
+    p_detect.set_defaults(handler=cmd_detect)
+
+    p_cluster = sub.add_parser("cluster", help="mine domain clusters")
+    p_cluster.add_argument("tracedir")
+    p_cluster.add_argument("--dimension", type=int, default=16)
+    p_cluster.add_argument("--seed", type=int, default=13)
+    p_cluster.add_argument("--k-max", type=int, default=50)
+    p_cluster.set_defaults(handler=cmd_cluster)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The paper's core contribution: behavioral modeling + graph embedding +
+SVM classification + cluster mining, wired end-to-end.
+"""
+
+from repro.core.features import FeatureSpace, FeatureView
+from repro.core.detector import MaliciousDomainClassifier
+from repro.core.clustering import (
+    ClusterReport,
+    DomainCluster,
+    DomainClusterer,
+    expand_from_seeds,
+)
+from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.core.streaming import IncrementalGraphBuilder, StreamingDetector
+from repro.core.persistence import (
+    load_embedding,
+    load_feature_space,
+    load_similarity_graph,
+    save_embedding,
+    save_feature_space,
+    save_similarity_graph,
+)
+
+__all__ = [
+    "IncrementalGraphBuilder",
+    "StreamingDetector",
+    "load_embedding",
+    "load_feature_space",
+    "load_similarity_graph",
+    "save_embedding",
+    "save_feature_space",
+    "save_similarity_graph",
+    "ClusterReport",
+    "DomainCluster",
+    "DomainClusterer",
+    "FeatureSpace",
+    "FeatureView",
+    "MaliciousDomainClassifier",
+    "MaliciousDomainDetector",
+    "PipelineConfig",
+    "expand_from_seeds",
+]

@@ -1,0 +1,100 @@
+"""Persistence for pipeline artifacts.
+
+A deployment runs the expensive stages (graphs, projections, LINE) once
+per capture window and reuses the results; this module saves and restores
+them. Formats are plain ``.npz`` (numpy) plus small JSON sidecars — no
+pickle, so artifacts are safe to share and stable across versions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.features import FeatureSpace
+from repro.embedding.line import LineConfig, LineEmbedding
+from repro.errors import DatasetError
+from repro.graphs.projection import SimilarityGraph
+
+_FORMAT_VERSION = 1
+
+
+def save_embedding(embedding: LineEmbedding, path: str | Path) -> None:
+    """Write one LINE embedding as ``<path>`` (.npz)."""
+    path = Path(path)
+    config = asdict(embedding.config)
+    np.savez_compressed(
+        path,
+        vectors=embedding.vectors,
+        domains=np.array(embedding.domains, dtype=object),
+        kind=np.array(embedding.kind),
+        config_json=np.array(json.dumps(config)),
+        format_version=np.array(_FORMAT_VERSION),
+    )
+
+
+def load_embedding(path: str | Path) -> LineEmbedding:
+    """Read an embedding written by :func:`save_embedding`."""
+    with np.load(path, allow_pickle=True) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported embedding format version {version}"
+            )
+        config = LineConfig(**json.loads(str(archive["config_json"])))
+        return LineEmbedding(
+            kind=str(archive["kind"]),
+            domains=[str(d) for d in archive["domains"]],
+            vectors=np.asarray(archive["vectors"], dtype=np.float64),
+            config=config,
+        )
+
+
+def save_feature_space(space: FeatureSpace, directory: str | Path) -> None:
+    """Write all three view embeddings under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_embedding(space.query, directory / "query.npz")
+    save_embedding(space.ip, directory / "ip.npz")
+    save_embedding(space.temporal, directory / "temporal.npz")
+
+
+def load_feature_space(directory: str | Path) -> FeatureSpace:
+    """Read a feature space written by :func:`save_feature_space`."""
+    directory = Path(directory)
+    return FeatureSpace(
+        query=load_embedding(directory / "query.npz"),
+        ip=load_embedding(directory / "ip.npz"),
+        temporal=load_embedding(directory / "temporal.npz"),
+    )
+
+
+def save_similarity_graph(graph: SimilarityGraph, path: str | Path) -> None:
+    """Write one similarity graph as ``<path>`` (.npz)."""
+    np.savez_compressed(
+        Path(path),
+        kind=np.array(graph.kind),
+        domains=np.array(graph.domains, dtype=object),
+        rows=graph.rows,
+        cols=graph.cols,
+        weights=graph.weights,
+        format_version=np.array(_FORMAT_VERSION),
+    )
+
+
+def load_similarity_graph(path: str | Path) -> SimilarityGraph:
+    """Read a graph written by :func:`save_similarity_graph`."""
+    with np.load(path, allow_pickle=True) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(f"unsupported graph format version {version}")
+        return SimilarityGraph(
+            kind=str(archive["kind"]),
+            domains=[str(d) for d in archive["domains"]],
+            rows=np.asarray(archive["rows"], dtype=np.int64),
+            cols=np.asarray(archive["cols"], dtype=np.int64),
+            weights=np.asarray(archive["weights"], dtype=np.float64),
+        )

@@ -1,0 +1,252 @@
+"""The end-to-end detection pipeline (paper section 3, Figure 2).
+
+Five stages, matching the paper's system components:
+
+1. data collection / pre-processing — DNS + DHCP logs in, records out;
+2. behavioral modeling — three bipartite graphs, pruned;
+3. feature learning — one-mode projections + LINE per view;
+4. supervised detection — SVM on the concatenated 3k-dim vectors;
+5. unsupervised mining — X-Means clusters over the same vectors.
+
+:class:`MaliciousDomainDetector` exposes each stage separately (for
+experiments) and a convenience :meth:`process` that runs 1-3 in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.clustering import DomainCluster, DomainClusterer
+from repro.core.detector import MaliciousDomainClassifier
+from repro.core.features import FeatureSpace, FeatureView
+from repro.dns.dhcp import DhcpLog, HostIdentityResolver
+from repro.dns.types import DnsQuery, DnsResponse
+from repro.embedding.line import LineConfig, LineEmbedding, train_line
+from repro.errors import GraphConstructionError, NotFittedError
+from repro.graphs.bipartite import (
+    BipartiteGraph,
+    build_domain_ip_graph,
+    build_domain_time_graph,
+    build_host_domain_graph,
+)
+from repro.graphs.projection import SimilarityGraph, project_to_similarity
+from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
+from repro.labels.dataset import LabeledDataset
+
+
+@dataclass(slots=True)
+class PipelineConfig:
+    """End-to-end pipeline knobs.
+
+    Attributes:
+        time_window_seconds: DTBG window (paper: one minute).
+        pruning: Graph pruning rules (paper defaults).
+        embedding: LINE hyperparameter template; per-view seeds are
+            derived from its seed so the three views train independently.
+        min_similarity: Projection edge threshold (near-zero keeps all
+            overlaps).
+        views: Feature views used for classification; the default is all
+            three (Figure 6), a single view reproduces Figure 7's bars.
+    """
+
+    time_window_seconds: float = 60.0
+    pruning: PruningRules = field(default_factory=PruningRules)
+    embedding: LineConfig = field(default_factory=LineConfig)
+    min_similarity: float = 1e-9
+    views: tuple[FeatureView, ...] = (
+        FeatureView.QUERY,
+        FeatureView.IP,
+        FeatureView.TEMPORAL,
+    )
+
+
+class MaliciousDomainDetector:
+    """End-to-end detector over passive DNS traffic.
+
+    Typical use::
+
+        detector = MaliciousDomainDetector(PipelineConfig())
+        detector.process(queries, responses, dhcp)
+        detector.fit(labeled_dataset)
+        scores = detector.decision_scores(unknown_domains)
+    """
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self.host_domain: BipartiteGraph | None = None
+        self.domain_ip: BipartiteGraph | None = None
+        self.domain_time: BipartiteGraph | None = None
+        self.pruning_report: PruningReport | None = None
+        self.similarity_graphs: dict[FeatureView, SimilarityGraph] = {}
+        self.feature_space: FeatureSpace | None = None
+        self.classifier: MaliciousDomainClassifier | None = None
+        self._domain_order: list[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Stages 1-2: graphs
+
+    def build_graphs(
+        self,
+        queries: Iterable[DnsQuery],
+        responses: Iterable[DnsResponse],
+        dhcp: DhcpLog | None = None,
+    ) -> PruningReport:
+        """Build and prune the three bipartite graphs."""
+        identity = HostIdentityResolver(dhcp) if dhcp is not None else None
+        queries = list(queries)
+        host_domain = build_host_domain_graph(queries, identity)
+        domain_ip = build_domain_ip_graph(responses)
+        domain_time = build_domain_time_graph(
+            queries, window_seconds=self.config.time_window_seconds
+        )
+        (
+            self.host_domain,
+            self.domain_ip,
+            self.domain_time,
+            self.pruning_report,
+        ) = prune_graphs(host_domain, domain_ip, domain_time, self.config.pruning)
+        self._domain_order = sorted(self.pruning_report.surviving_domains)
+        return self.pruning_report
+
+    def adopt_graphs(
+        self,
+        host_domain: BipartiteGraph,
+        domain_ip: BipartiteGraph,
+        domain_time: BipartiteGraph,
+    ) -> PruningReport:
+        """Use externally built bipartite graphs (applies pruning).
+
+        The streaming mode maintains graphs incrementally and hands them
+        to a fresh detector at each refresh; this is its entry point.
+        """
+        (
+            self.host_domain,
+            self.domain_ip,
+            self.domain_time,
+            self.pruning_report,
+        ) = prune_graphs(host_domain, domain_ip, domain_time, self.config.pruning)
+        self._domain_order = sorted(self.pruning_report.surviving_domains)
+        return self.pruning_report
+
+    @property
+    def domains(self) -> list[str]:
+        """Domains that survived pruning (the embedding vertex set)."""
+        if self._domain_order is None:
+            raise NotFittedError("MaliciousDomainDetector.build_graphs")
+        return list(self._domain_order)
+
+    # ------------------------------------------------------------------
+    # Stage 3a: projections
+
+    def build_similarity_graphs(self) -> dict[FeatureView, SimilarityGraph]:
+        """Project the three bipartite graphs onto the domain set."""
+        if (
+            self.host_domain is None
+            or self.domain_ip is None
+            or self.domain_time is None
+            or self._domain_order is None
+        ):
+            raise GraphConstructionError("call build_graphs() first")
+        order = self._domain_order
+        threshold = self.config.min_similarity
+        self.similarity_graphs = {
+            FeatureView.QUERY: project_to_similarity(
+                self.host_domain, order, threshold
+            ),
+            FeatureView.IP: project_to_similarity(self.domain_ip, order, threshold),
+            FeatureView.TEMPORAL: project_to_similarity(
+                self.domain_time, order, threshold
+            ),
+        }
+        return self.similarity_graphs
+
+    # ------------------------------------------------------------------
+    # Stage 3b: embeddings
+
+    def _line_config_for(self, view: FeatureView) -> LineConfig:
+        base = self.config.embedding
+        offsets = {FeatureView.QUERY: 0, FeatureView.IP: 1, FeatureView.TEMPORAL: 2}
+        return LineConfig(
+            dimension=base.dimension,
+            order=base.order,
+            negatives=base.negatives,
+            total_samples=base.total_samples,
+            batch_size=base.batch_size,
+            initial_lr=base.initial_lr,
+            normalize=base.normalize,
+            seed=base.seed + offsets[view],
+        )
+
+    def learn_embeddings(self) -> FeatureSpace:
+        """Train LINE per view and assemble the feature space."""
+        if not self.similarity_graphs:
+            self.build_similarity_graphs()
+        embeddings: dict[FeatureView, LineEmbedding] = {}
+        for view, graph in self.similarity_graphs.items():
+            embeddings[view] = train_line(graph, self._line_config_for(view))
+        self.feature_space = FeatureSpace(
+            query=embeddings[FeatureView.QUERY],
+            ip=embeddings[FeatureView.IP],
+            temporal=embeddings[FeatureView.TEMPORAL],
+        )
+        return self.feature_space
+
+    def process(
+        self,
+        queries: Iterable[DnsQuery],
+        responses: Iterable[DnsResponse],
+        dhcp: DhcpLog | None = None,
+    ) -> FeatureSpace:
+        """Run stages 1-3 (graphs, projections, embeddings) in order."""
+        self.build_graphs(queries, responses, dhcp)
+        self.build_similarity_graphs()
+        return self.learn_embeddings()
+
+    # ------------------------------------------------------------------
+    # Stage 4: supervised detection
+
+    def features_for(
+        self,
+        domains: Sequence[str],
+        views: Sequence[FeatureView] | None = None,
+    ) -> np.ndarray:
+        """Feature matrix for ``domains`` (full 3k by default)."""
+        if self.feature_space is None:
+            raise NotFittedError("MaliciousDomainDetector.learn_embeddings")
+        return self.feature_space.matrix(domains, views or self.config.views)
+
+    def fit(self, dataset: LabeledDataset) -> "MaliciousDomainDetector":
+        """Train the SVM on a labeled dataset."""
+        features = self.features_for(dataset.domains)
+        self.classifier = MaliciousDomainClassifier().fit(features, dataset.labels)
+        return self
+
+    def decision_scores(self, domains: Sequence[str]) -> np.ndarray:
+        """d(x) for each domain — positive means malicious side."""
+        if self.classifier is None:
+            raise NotFittedError("MaliciousDomainDetector.fit")
+        return self.classifier.decision_function(self.features_for(domains))
+
+    def predict(self, domains: Sequence[str]) -> np.ndarray:
+        """1 = malicious, 0 = benign, at the classifier's threshold."""
+        if self.classifier is None:
+            raise NotFittedError("MaliciousDomainDetector.fit")
+        return self.classifier.predict(self.features_for(domains))
+
+    # ------------------------------------------------------------------
+    # Stage 5: unsupervised mining
+
+    def cluster(
+        self,
+        domains: Sequence[str] | None = None,
+        k_max: int = 60,
+        seed: int = 0,
+    ) -> list[DomainCluster]:
+        """X-Means clusters over the (given or all) domains' features."""
+        if domains is None:
+            domains = self.domains
+        clusterer = DomainClusterer(k_max=k_max, seed=seed)
+        return clusterer.fit(list(domains), self.features_for(domains))

@@ -1,0 +1,127 @@
+"""DHCP lease log and host-identity resolution.
+
+The paper collects DHCP logs in parallel with DNS traffic so that DNS
+queries can be attributed to the *physical device* (MAC address) even when
+the device's IP changes due to campus mobility or lease timeout
+(section 2). :class:`HostIdentityResolver` performs that attribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.dns.types import DhcpLease
+from repro.errors import DnsLogFormatError
+
+
+class DhcpLog:
+    """An append-only collection of DHCP leases with text (de)serialization.
+
+    Line format: ``<mac>\t<ip>\t<start>\t<end>``.
+    """
+
+    def __init__(self, leases: Iterable[DhcpLease] = ()) -> None:
+        self._leases: list[DhcpLease] = list(leases)
+
+    def add(self, lease: DhcpLease) -> None:
+        self._leases.append(lease)
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __iter__(self) -> Iterator[DhcpLease]:
+        return iter(self._leases)
+
+    @property
+    def macs(self) -> set[str]:
+        """All device MAC addresses appearing in the log."""
+        return {lease.mac for lease in self._leases}
+
+    def save(self, destination: str | Path | TextIO) -> None:
+        """Write the log in text form."""
+        if isinstance(destination, (str, Path)):
+            with open(destination, "w", encoding="utf-8") as stream:
+                self._write(stream)
+        else:
+            self._write(destination)
+
+    def _write(self, stream: TextIO) -> None:
+        for lease in self._leases:
+            stream.write(
+                f"{lease.mac}\t{lease.ip}\t{lease.start:.3f}\t{lease.end:.3f}\n"
+            )
+
+    @classmethod
+    def load(cls, source: str | Path | TextIO) -> "DhcpLog":
+        """Parse a text-form DHCP log."""
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as stream:
+                return cls._read(stream)
+        return cls._read(source)
+
+    @classmethod
+    def _read(cls, stream: TextIO) -> "DhcpLog":
+        log = cls()
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if len(fields) != 4:
+                raise DnsLogFormatError(line_number, line, "lease needs 4 fields")
+            try:
+                log.add(
+                    DhcpLease(
+                        mac=fields[0],
+                        ip=fields[1],
+                        start=float(fields[2]),
+                        end=float(fields[3]),
+                    )
+                )
+            except ValueError as exc:
+                raise DnsLogFormatError(line_number, line, str(exc)) from exc
+        return log
+
+
+class HostIdentityResolver:
+    """Map (ip, timestamp) observations back to stable device identities.
+
+    Leases for each IP are indexed by start time; lookup is a binary search
+    over the lease intervals, so resolving a full trace is
+    O(records * log leases).
+    """
+
+    def __init__(self, log: DhcpLog) -> None:
+        by_ip: dict[str, list[DhcpLease]] = defaultdict(list)
+        for lease in log:
+            by_ip[lease.ip].append(lease)
+        self._starts: dict[str, list[float]] = {}
+        self._leases: dict[str, list[DhcpLease]] = {}
+        for ip, leases in by_ip.items():
+            leases.sort(key=lambda lease: lease.start)
+            self._leases[ip] = leases
+            self._starts[ip] = [lease.start for lease in leases]
+
+    def resolve(self, ip: str, timestamp: float) -> str | None:
+        """Return the MAC holding ``ip`` at ``timestamp``, or None.
+
+        If no lease covers the timestamp the observation cannot be
+        attributed (e.g. a statically addressed server); callers typically
+        fall back to using the IP itself as the host identity.
+        """
+        leases = self._leases.get(ip)
+        if not leases:
+            return None
+        index = bisect.bisect_right(self._starts[ip], timestamp) - 1
+        if index < 0:
+            return None
+        lease = leases[index]
+        return lease.mac if lease.active_at(timestamp) else None
+
+    def resolve_or_ip(self, ip: str, timestamp: float) -> str:
+        """Resolve to a MAC, falling back to the IP string itself."""
+        mac = self.resolve(ip, timestamp)
+        return mac if mac is not None else ip

@@ -1,0 +1,224 @@
+"""Text format for DNS traffic logs.
+
+The campus collection pipeline in the paper stores one record per line.
+We use a tab-separated format with an explicit record kind so that queries
+and responses can be interleaved in capture order:
+
+``Q\t<timestamp>\t<txid>\t<source_ip>\t<qname>\t<qtype>``
+
+``R\t<timestamp>\t<txid>\t<dest_ip>\t<qname>\tNXDOMAIN``
+
+``R\t<timestamp>\t<txid>\t<dest_ip>\t<qname>\t<type>:<value>:<ttl>[,...]``
+
+Readers are streaming (constant memory) and raise
+:class:`~repro.errors.DnsLogFormatError` with line numbers on malformed
+input.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.dns.types import DnsQuery, DnsResponse, QueryType, ResourceRecord
+from repro.errors import DnsLogFormatError
+
+_QUERY_KIND = "Q"
+_RESPONSE_KIND = "R"
+_NXDOMAIN_TOKEN = "NXDOMAIN"
+
+
+def format_query(query: DnsQuery) -> str:
+    """Serialize one query to its log-line form (no trailing newline)."""
+    return "\t".join(
+        (
+            _QUERY_KIND,
+            f"{query.timestamp:.3f}",
+            str(query.txid),
+            query.source_ip,
+            query.qname,
+            query.qtype.value,
+        )
+    )
+
+
+def format_response(response: DnsResponse) -> str:
+    """Serialize one response to its log-line form (no trailing newline)."""
+    if response.nxdomain:
+        payload = _NXDOMAIN_TOKEN
+    else:
+        payload = ",".join(
+            f"{rr.rtype.value}:{rr.value}:{rr.ttl}" for rr in response.answers
+        )
+    return "\t".join(
+        (
+            _RESPONSE_KIND,
+            f"{response.timestamp:.3f}",
+            str(response.txid),
+            response.destination_ip,
+            response.qname,
+            payload,
+        )
+    )
+
+
+def parse_query(fields: list[str], line_number: int, line: str) -> DnsQuery:
+    """Parse the fields of a ``Q`` record."""
+    if len(fields) != 6:
+        raise DnsLogFormatError(line_number, line, "query needs 6 fields")
+    try:
+        return DnsQuery(
+            timestamp=float(fields[1]),
+            txid=int(fields[2]),
+            source_ip=fields[3],
+            qname=fields[4],
+            qtype=QueryType.from_wire(fields[5]),
+        )
+    except ValueError as exc:
+        raise DnsLogFormatError(line_number, line, str(exc)) from exc
+
+
+def parse_response(fields: list[str], line_number: int, line: str) -> DnsResponse:
+    """Parse the fields of an ``R`` record."""
+    if len(fields) != 6:
+        raise DnsLogFormatError(line_number, line, "response needs 6 fields")
+    try:
+        timestamp = float(fields[1])
+        txid = int(fields[2])
+    except ValueError as exc:
+        raise DnsLogFormatError(line_number, line, str(exc)) from exc
+    payload = fields[5]
+    if payload == _NXDOMAIN_TOKEN:
+        answers: tuple[ResourceRecord, ...] = ()
+        nxdomain = True
+    else:
+        nxdomain = False
+        records = []
+        if payload:
+            for chunk in payload.split(","):
+                parts = chunk.split(":")
+                if len(parts) != 3:
+                    raise DnsLogFormatError(
+                        line_number, line, f"malformed answer record {chunk!r}"
+                    )
+                try:
+                    records.append(
+                        ResourceRecord(
+                            rtype=QueryType.from_wire(parts[0]),
+                            value=parts[1],
+                            ttl=int(parts[2]),
+                        )
+                    )
+                except ValueError as exc:
+                    raise DnsLogFormatError(line_number, line, str(exc)) from exc
+        answers = tuple(records)
+    try:
+        return DnsResponse(
+            timestamp=timestamp,
+            txid=txid,
+            destination_ip=fields[3],
+            qname=fields[4],
+            answers=answers,
+            nxdomain=nxdomain,
+        )
+    except ValueError as exc:
+        raise DnsLogFormatError(line_number, line, str(exc)) from exc
+
+
+class DnsTraceWriter:
+    """Streaming writer for interleaved DNS trace logs.
+
+    Usable as a context manager. Accepts any mix of
+    :class:`~repro.dns.types.DnsQuery` and
+    :class:`~repro.dns.types.DnsResponse` records.
+    """
+
+    def __init__(self, destination: str | Path | TextIO) -> None:
+        if isinstance(destination, (str, Path)):
+            self._stream: TextIO = open(destination, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+        self.records_written = 0
+
+    def write(self, record: DnsQuery | DnsResponse) -> None:
+        """Append one record."""
+        if isinstance(record, DnsQuery):
+            line = format_query(record)
+        elif isinstance(record, DnsResponse):
+            line = format_response(record)
+        else:
+            raise TypeError(f"cannot serialize {type(record).__name__}")
+        self._stream.write(line + "\n")
+        self.records_written += 1
+
+    def write_all(self, records: Iterable[DnsQuery | DnsResponse]) -> int:
+        """Append many records; returns how many were written."""
+        count = 0
+        for record in records:
+            self.write(record)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "DnsTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class DnsTraceReader:
+    """Streaming reader yielding records in file order.
+
+    Blank lines and ``#`` comment lines are skipped. Iterating the reader
+    yields :class:`DnsQuery` / :class:`DnsResponse` objects.
+    """
+
+    def __init__(self, source: str | Path | TextIO) -> None:
+        self._source = source
+
+    def _open(self) -> tuple[TextIO, bool]:
+        if isinstance(self._source, (str, Path)):
+            return open(self._source, "r", encoding="utf-8"), True
+        if isinstance(self._source, io.TextIOBase):
+            return self._source, False
+        return self._source, False
+
+    def __iter__(self) -> Iterator[DnsQuery | DnsResponse]:
+        stream, owns = self._open()
+        try:
+            for line_number, raw in enumerate(stream, start=1):
+                line = raw.rstrip("\n")
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split("\t")
+                kind = fields[0]
+                if kind == _QUERY_KIND:
+                    yield parse_query(fields, line_number, line)
+                elif kind == _RESPONSE_KIND:
+                    yield parse_response(fields, line_number, line)
+                else:
+                    raise DnsLogFormatError(
+                        line_number, line, f"unknown record kind {kind!r}"
+                    )
+        finally:
+            if owns:
+                stream.close()
+
+    def queries(self) -> Iterator[DnsQuery]:
+        """Yield only the query records."""
+        for record in self:
+            if isinstance(record, DnsQuery):
+                yield record
+
+    def responses(self) -> Iterator[DnsResponse]:
+        """Yield only the response records."""
+        for record in self:
+            if isinstance(record, DnsResponse):
+                yield record

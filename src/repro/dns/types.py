@@ -1,0 +1,155 @@
+"""Core DNS and DHCP record types.
+
+These dataclasses mirror the fields the paper collects from campus edge
+routers (section 2): for queries — timestamp, identification number, source
+IP, queried name, query type; for responses — timestamp, identification
+number, destination IP, and the response values; for DHCP — MAC address,
+assigned IP, and lease window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class QueryType(enum.Enum):
+    """DNS query/record types observed in the campus traces."""
+
+    A = "A"
+    AAAA = "AAAA"
+    NS = "NS"
+    CNAME = "CNAME"
+    MX = "MX"
+    TXT = "TXT"
+    PTR = "PTR"
+    SOA = "SOA"
+
+    @classmethod
+    def from_wire(cls, token: str) -> "QueryType":
+        """Parse a type mnemonic as it appears in a trace log."""
+        try:
+            return cls(token.upper())
+        except ValueError as exc:
+            raise ValueError(f"unknown DNS query type {token!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class DnsQuery:
+    """One DNS query packet captured at the edge router.
+
+    Attributes:
+        timestamp: Seconds since the trace epoch (float, sub-second capable).
+        txid: DNS transaction identification number (0..65535).
+        source_ip: Querying host's IP address at the time of the query.
+        qname: Fully qualified domain name being queried (no trailing dot).
+        qtype: Query type (A, AAAA, NS, CNAME, MX, ...).
+    """
+
+    timestamp: float
+    txid: int
+    source_ip: str
+    qname: str
+    qtype: QueryType = QueryType.A
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.txid <= 0xFFFF:
+            raise ValueError(f"txid {self.txid} outside 0..65535")
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """A single record in a DNS response's answer section."""
+
+    rtype: QueryType
+    value: str
+    ttl: int
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0:
+            raise ValueError("TTL must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class DnsResponse:
+    """One DNS response packet captured at the edge router.
+
+    Attributes:
+        timestamp: Seconds since the trace epoch.
+        txid: Transaction id matching the triggering query.
+        destination_ip: IP of the host the response is delivered to.
+        qname: Queried name this response answers.
+        answers: Answer-section records (empty for NXDOMAIN).
+        nxdomain: True when the name does not exist.
+    """
+
+    timestamp: float
+    txid: int
+    destination_ip: str
+    qname: str
+    answers: tuple[ResourceRecord, ...] = ()
+    nxdomain: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.txid <= 0xFFFF:
+            raise ValueError(f"txid {self.txid} outside 0..65535")
+        if self.nxdomain and self.answers:
+            raise ValueError("an NXDOMAIN response cannot carry answers")
+
+    @property
+    def resolved_ips(self) -> tuple[str, ...]:
+        """IPv4/IPv6 addresses in the answer section (A/AAAA records only)."""
+        return tuple(
+            rr.value
+            for rr in self.answers
+            if rr.rtype in (QueryType.A, QueryType.AAAA)
+        )
+
+    @property
+    def min_ttl(self) -> int | None:
+        """Minimum TTL across answers, or None for an empty answer section."""
+        if not self.answers:
+            return None
+        return min(rr.ttl for rr in self.answers)
+
+
+@dataclass(frozen=True, slots=True)
+class DhcpLease:
+    """One DHCP lease binding a MAC address to an IP for a time window.
+
+    The paper collects DHCP logs in parallel with DNS logs so that queries
+    can be attributed to physical devices even when their IP changes due to
+    mobility or lease timeout.
+    """
+
+    mac: str
+    ip: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"lease end ({self.end}) must be after start ({self.start})"
+            )
+
+    def active_at(self, timestamp: float) -> bool:
+        """Whether this lease covers ``timestamp`` (start-inclusive)."""
+        return self.start <= timestamp < self.end
+
+
+@dataclass(slots=True)
+class TraceMetadata:
+    """Descriptive metadata attached to a generated or captured trace."""
+
+    start_time: float
+    duration: float
+    host_count: int
+    description: str = ""
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration

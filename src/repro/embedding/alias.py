@@ -1,0 +1,59 @@
+"""Vose alias method for O(1) weighted sampling.
+
+LINE samples edges proportionally to their weights and negative vertices
+from a degree^0.75 noise distribution (section 5.2); both need millions of
+draws, so constant-time sampling matters. The alias table is built once in
+O(n) and then any number of draws cost O(1) each (vectorized here to draw
+whole batches at once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AliasSampler:
+    """Draws indices i with probability weights[i] / sum(weights)."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+
+        n = weights.size
+        scaled = weights * (n / total)
+        self._prob = np.zeros(n)
+        self._alias = np.zeros(n, dtype=np.int64)
+
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob[s] = scaled[s]
+            self._alias[s] = l
+            scaled[l] = scaled[l] + scaled[s] - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for remainder in (*small, *large):
+            self._prob[remainder] = 1.0
+            self._alias[remainder] = remainder
+
+    @property
+    def size(self) -> int:
+        return self._prob.size
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` indices as an int64 array."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        slots = rng.integers(0, self.size, size=count)
+        coin = rng.uniform(size=count) < self._prob[slots]
+        return np.where(coin, slots, self._alias[slots])

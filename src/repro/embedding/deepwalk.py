@@ -1,0 +1,251 @@
+"""DeepWalk / node2vec-style random-walk embeddings.
+
+The paper picks LINE as "one of the best performers in graph embedding"
+(section 5). This module provides the natural comparison point: truncated
+random walks over the weighted similarity graph feed a skip-gram model
+with negative sampling (word2vec on walk corpora — DeepWalk; with the
+``return_parameter``/``inout_parameter`` biases of node2vec when they
+differ from 1).
+
+The output is interchangeable with :class:`~repro.embedding.line.LineEmbedding`,
+so the detection pipeline can swap embedders for ablation
+(``benchmarks/bench_ablation_embedder.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.alias import AliasSampler
+from repro.embedding.line import LineConfig, LineEmbedding
+from repro.errors import EmbeddingError
+from repro.graphs.projection import SimilarityGraph
+
+_SCORE_CLIP = 10.0
+
+
+@dataclass(slots=True)
+class DeepWalkConfig:
+    """Hyperparameters for random-walk embedding training."""
+
+    dimension: int = 32
+    walks_per_node: int = 8
+    walk_length: int = 20
+    window: int = 4
+    negatives: int = 5
+    initial_lr: float = 0.025
+    epochs: int = 2
+    # node2vec biases; both 1.0 reduces to DeepWalk.
+    return_parameter: float = 1.0
+    inout_parameter: float = 1.0
+    normalize: bool = True
+    # Same radius convention as LineConfig.vector_scale.
+    vector_scale: float = 4.0
+    seed: int = 23
+
+    def validate(self) -> None:
+        if self.dimension < 2:
+            raise EmbeddingError("dimension must be at least 2")
+        if self.walks_per_node < 1 or self.walk_length < 2:
+            raise EmbeddingError("walks must exist and have length >= 2")
+        if self.window < 1:
+            raise EmbeddingError("window must be at least 1")
+        if self.return_parameter <= 0 or self.inout_parameter <= 0:
+            raise EmbeddingError("node2vec parameters must be positive")
+        if self.epochs < 1:
+            raise EmbeddingError("epochs must be at least 1")
+
+
+def _adjacency_lists(
+    graph: SimilarityGraph,
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Per-node neighbor arrays and matching edge weights."""
+    neighbors: list[list[int]] = [[] for _ in range(graph.node_count)]
+    weights: list[list[float]] = [[] for _ in range(graph.node_count)]
+    for row, col, weight in zip(graph.rows, graph.cols, graph.weights):
+        neighbors[int(row)].append(int(col))
+        weights[int(row)].append(float(weight))
+        neighbors[int(col)].append(int(row))
+        weights[int(col)].append(float(weight))
+    return (
+        [np.array(n, dtype=np.int64) for n in neighbors],
+        [np.array(w) for w in weights],
+    )
+
+
+def _generate_walks(
+    graph: SimilarityGraph, config: DeepWalkConfig, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Weighted (optionally node2vec-biased) random walks."""
+    neighbors, weights = _adjacency_lists(graph)
+    samplers = [
+        AliasSampler(w) if w.size else None for w in weights
+    ]
+    biased = (
+        config.return_parameter != 1.0 or config.inout_parameter != 1.0
+    )
+    neighbor_sets = [set(n.tolist()) for n in neighbors] if biased else None
+
+    walks: list[np.ndarray] = []
+    order = rng.permutation(graph.node_count)
+    for __ in range(config.walks_per_node):
+        for start in order:
+            start = int(start)
+            if samplers[start] is None:
+                continue
+            walk = [start]
+            while len(walk) < config.walk_length:
+                current = walk[-1]
+                sampler = samplers[current]
+                if sampler is None:
+                    break
+                if not biased or len(walk) < 2:
+                    position = int(sampler.sample(1, rng)[0])
+                    pick = int(neighbors[current][position])
+                else:
+                    pick = _biased_step(
+                        walk[-2],
+                        current,
+                        neighbors[current],
+                        weights[current],
+                        neighbor_sets,
+                        config,
+                        rng,
+                    )
+                walk.append(pick)
+            if len(walk) >= 2:
+                walks.append(np.array(walk, dtype=np.int64))
+    return walks
+
+
+def _biased_step(
+    previous: int,
+    current: int,
+    candidates: np.ndarray,
+    candidate_weights: np.ndarray,
+    neighbor_sets: list[set[int]],
+    config: DeepWalkConfig,
+    rng: np.random.Generator,
+) -> int:
+    """One node2vec transition with return/in-out biases."""
+    biases = np.empty(candidates.size)
+    previous_neighbors = neighbor_sets[previous]
+    for position, candidate in enumerate(candidates):
+        if candidate == previous:
+            biases[position] = 1.0 / config.return_parameter
+        elif int(candidate) in previous_neighbors:
+            biases[position] = 1.0
+        else:
+            biases[position] = 1.0 / config.inout_parameter
+    scores = candidate_weights * biases
+    total = scores.sum()
+    draw = rng.uniform(0.0, total)
+    return int(candidates[int(np.searchsorted(np.cumsum(scores), draw))])
+
+
+def _sigmoid(scores: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(scores, -_SCORE_CLIP, _SCORE_CLIP)))
+
+
+def train_deepwalk(
+    graph: SimilarityGraph, config: DeepWalkConfig | None = None
+) -> LineEmbedding:
+    """Embed a similarity graph with random walks + skip-gram.
+
+    Returns a :class:`LineEmbedding` (same container as LINE) so the rest
+    of the pipeline is embedder-agnostic.
+    """
+    if config is None:
+        config = DeepWalkConfig()
+    config.validate()
+    if graph.node_count == 0:
+        raise EmbeddingError(f"cannot embed empty graph (kind={graph.kind!r})")
+
+    line_config = LineConfig(
+        dimension=config.dimension,
+        order="second",
+        negatives=config.negatives,
+        normalize=config.normalize,
+        seed=config.seed,
+    )
+    if graph.edge_count == 0:
+        return LineEmbedding(
+            kind=graph.kind,
+            domains=list(graph.domains),
+            vectors=np.zeros((graph.node_count, config.dimension)),
+            config=line_config,
+        )
+
+    rng = np.random.default_rng(config.seed)
+    walks = _generate_walks(graph, config, rng)
+    if not walks:
+        raise EmbeddingError("graph produced no usable walks")
+
+    # Skip-gram pairs: (center, context) within the window.
+    centers_list: list[np.ndarray] = []
+    contexts_list: list[np.ndarray] = []
+    for walk in walks:
+        length = walk.size
+        for offset in range(1, config.window + 1):
+            if length <= offset:
+                continue
+            centers_list.append(walk[:-offset])
+            contexts_list.append(walk[offset:])
+            centers_list.append(walk[offset:])
+            contexts_list.append(walk[:-offset])
+    centers = np.concatenate(centers_list)
+    contexts = np.concatenate(contexts_list)
+
+    degrees = graph.degree_array()
+    noise = AliasSampler(np.power(np.maximum(degrees, 1e-12), 0.75))
+
+    n = graph.node_count
+    dimension = config.dimension
+    vertex = rng.uniform(-0.5, 0.5, size=(n, dimension)) / dimension
+    context_table = np.zeros((n, dimension))
+
+    pair_count = centers.size
+    batch_size = min(4096, max(32, 4 * n))
+    total_steps = pair_count * config.epochs
+    done = 0
+    for epoch in range(config.epochs):
+        order = rng.permutation(pair_count)
+        for start in range(0, pair_count, batch_size):
+            batch = order[start : start + batch_size]
+            u = centers[batch]
+            v = contexts[batch]
+            lr = config.initial_lr * max(1e-4, 1.0 - done / total_steps)
+
+            grad_u = np.zeros((batch.size, dimension))
+            pos_scores = np.einsum("ij,ij->i", vertex[u], context_table[v])
+            pos_coeff = (_sigmoid(pos_scores) - 1.0) * lr
+            grad_u += pos_coeff[:, None] * context_table[v]
+            np.add.at(context_table, v, -pos_coeff[:, None] * vertex[u])
+
+            for __ in range(config.negatives):
+                neg = noise.sample(batch.size, rng)
+                neg_scores = np.einsum(
+                    "ij,ij->i", vertex[u], context_table[neg]
+                )
+                neg_coeff = _sigmoid(neg_scores) * lr
+                grad_u += neg_coeff[:, None] * context_table[neg]
+                np.add.at(
+                    context_table, neg, -neg_coeff[:, None] * vertex[u]
+                )
+
+            np.add.at(vertex, u, -grad_u)
+            done += batch.size
+
+    if config.normalize:
+        norms = np.linalg.norm(vertex, axis=1, keepdims=True)
+        vertex = np.where(
+            norms > 1e-12, vertex / norms * config.vector_scale, vertex
+        )
+    return LineEmbedding(
+        kind=graph.kind,
+        domains=list(graph.domains),
+        vectors=vertex,
+        config=line_config,
+    )

@@ -1,0 +1,154 @@
+"""Exact t-SNE (van der Maaten & Hinton, JMLR 2008).
+
+Used for the paper's Figure 5: project domain embeddings of a handful of
+clusters to 2-D and check that associated domains land close together.
+Exact (O(n^2)) gradients are plenty for the few hundred points that
+figure uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+
+_EPS = 1e-12
+
+
+@dataclass(slots=True)
+class TsneConfig:
+    """t-SNE hyperparameters (defaults follow the original paper)."""
+
+    perplexity: float = 30.0
+    iterations: int = 750
+    learning_rate: float = 200.0
+    early_exaggeration: float = 12.0
+    exaggeration_iterations: int = 250
+    initial_momentum: float = 0.5
+    final_momentum: float = 0.8
+    momentum_switch_iteration: int = 250
+    seed: int = 42
+
+    def validate(self, sample_count: int) -> None:
+        if self.perplexity <= 1:
+            raise EmbeddingError("perplexity must exceed 1")
+        if sample_count <= 3 * self.perplexity:
+            raise EmbeddingError(
+                f"perplexity {self.perplexity} too large for "
+                f"{sample_count} samples (need > 3*perplexity samples)"
+            )
+        if self.iterations < 50:
+            raise EmbeddingError("iterations must be at least 50")
+
+
+def _pairwise_squared_distances(data: np.ndarray) -> np.ndarray:
+    norms = np.sum(data**2, axis=1)
+    distances = norms[:, None] + norms[None, :] - 2.0 * (data @ data.T)
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _conditional_probabilities(
+    distances: np.ndarray, perplexity: float
+) -> np.ndarray:
+    """Row-stochastic P(j|i) matching ``perplexity`` via binary search."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(distances[i], i)
+        low, high = 1e-20, 1e20
+        beta = 1.0  # precision = 1 / (2 sigma^2)
+        for __ in range(64):
+            exponent = np.exp(-row * beta)
+            total = exponent.sum()
+            if total <= _EPS:
+                entropy = 0.0
+                p_row = np.zeros_like(row)
+            else:
+                p_row = exponent / total
+                entropy = -np.sum(p_row * np.log(np.maximum(p_row, _EPS)))
+            error = entropy - target_entropy
+            if abs(error) < 1e-5:
+                break
+            if error > 0:
+                low = beta
+                beta = beta * 2 if high >= 1e20 else (beta + high) / 2
+            else:
+                high = beta
+                beta = beta / 2 if low <= 1e-20 else (beta + low) / 2
+        p_full = np.insert(p_row, i, 0.0)
+        probabilities[i] = p_full
+    return probabilities
+
+
+def _pca_initialization(data: np.ndarray, seed: int) -> np.ndarray:
+    centered = data - data.mean(axis=0)
+    try:
+        __, __, v = np.linalg.svd(centered, full_matrices=False)
+        initial = centered @ v[:2].T
+    except np.linalg.LinAlgError:
+        initial = np.random.default_rng(seed).normal(
+            scale=1e-4, size=(data.shape[0], 2)
+        )
+    scale = np.abs(initial).max()
+    if scale > 0:
+        initial = initial / scale * 1e-2
+    return initial
+
+
+def tsne_embed(
+    data: np.ndarray, config: TsneConfig | None = None
+) -> np.ndarray:
+    """Project ``data`` (n x d) to a 2-D layout.
+
+    Returns an (n x 2) array. Deterministic for a fixed config seed.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise EmbeddingError("t-SNE input must be a 2-D array")
+    if config is None:
+        config = TsneConfig()
+    config.validate(data.shape[0])
+
+    distances = _pairwise_squared_distances(data)
+    conditional = _conditional_probabilities(distances, config.perplexity)
+    joint = (conditional + conditional.T) / (2.0 * data.shape[0])
+    joint = np.maximum(joint, _EPS)
+
+    layout = _pca_initialization(data, config.seed)
+    velocity = np.zeros_like(layout)
+    gains = np.ones_like(layout)
+
+    for iteration in range(config.iterations):
+        exaggeration = (
+            config.early_exaggeration
+            if iteration < config.exaggeration_iterations
+            else 1.0
+        )
+        momentum = (
+            config.initial_momentum
+            if iteration < config.momentum_switch_iteration
+            else config.final_momentum
+        )
+
+        low_d_sq = _pairwise_squared_distances(layout)
+        student = 1.0 / (1.0 + low_d_sq)
+        np.fill_diagonal(student, 0.0)
+        q_total = student.sum()
+        q = np.maximum(student / max(q_total, _EPS), _EPS)
+
+        coefficient = (exaggeration * joint - q) * student
+        gradient = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) - coefficient
+        ) @ layout
+
+        same_sign = np.sign(gradient) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - config.learning_rate * gains * gradient
+        layout = layout + velocity
+        layout = layout - layout.mean(axis=0)
+    return layout

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DnsLogFormatError(ReproError):
+    """A DNS or DHCP log line could not be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+
+
+class DomainNameError(ReproError):
+    """A string is not a syntactically valid domain name."""
+
+
+class SimulationConfigError(ReproError):
+    """A simulation configuration is inconsistent or out of range."""
+
+
+class GraphConstructionError(ReproError):
+    """A bipartite graph or projection could not be built."""
+
+
+class EmbeddingError(ReproError):
+    """Graph embedding failed (empty graph, bad hyperparameters, ...)."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring a fitted model was called before fit()."""
+
+    def __init__(self, model_name: str) -> None:
+        super().__init__(
+            f"{model_name} is not fitted yet; call fit() before using this method"
+        )
+
+
+class DatasetError(ReproError):
+    """A labeled dataset could not be assembled or is inconsistent."""

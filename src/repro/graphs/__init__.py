@@ -1,0 +1,39 @@
+"""Behavioral modeling of domains via bipartite graphs (paper section 4).
+
+Three bipartite graphs capture domain behavior — host-domain interactions
+(HDBG), domain-IP resolutions (DIBG), and domain-time activity (DTBG) —
+and their one-mode projections onto the domain vertex set yield the
+query-behavior, IP-resolving, and temporal similarity graphs whose edge
+weights are Jaccard indices (equations 1-3).
+"""
+
+from repro.graphs.bipartite import (
+    BipartiteGraph,
+    build_domain_ip_graph,
+    build_domain_time_graph,
+    build_host_domain_graph,
+)
+from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
+from repro.graphs.projection import SimilarityGraph, project_to_similarity
+from repro.graphs.host_projection import (
+    InfectedHostGroup,
+    find_infected_host_groups,
+    project_hosts,
+    transpose_bipartite,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "InfectedHostGroup",
+    "PruningReport",
+    "PruningRules",
+    "SimilarityGraph",
+    "find_infected_host_groups",
+    "project_hosts",
+    "transpose_bipartite",
+    "build_domain_ip_graph",
+    "build_domain_time_graph",
+    "build_host_domain_graph",
+    "project_to_similarity",
+    "prune_graphs",
+]

@@ -1,0 +1,199 @@
+"""Bipartite graphs between domains and hosts / IPs / time windows.
+
+All three graph builders aggregate hostnames to e2LDs (pruning rule 3 of
+the paper is applied at construction time, since every later stage works
+at e2LD granularity) and skip syntactically invalid or bare-suffix names.
+
+The graphs store domain adjacency as sets and can export a scipy CSR
+incidence matrix for the projection step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+from scipy import sparse
+
+from repro.dns.dhcp import HostIdentityResolver
+from repro.dns.names import is_valid_domain_name
+from repro.dns.psl import PublicSuffixList, default_psl
+from repro.dns.types import DnsQuery, DnsResponse
+from repro.errors import DomainNameError, GraphConstructionError
+
+DEFAULT_TIME_WINDOW_SECONDS = 60.0  # the paper's one-minute windows
+
+
+@dataclass(slots=True)
+class BipartiteGraph:
+    """A domain-vs-X bipartite graph stored as per-domain neighbor sets.
+
+    Attributes:
+        kind: ``"host"``, ``"ip"``, or ``"time"`` — which right-hand
+            vertex set this graph uses.
+        adjacency: domain e2LD -> set of right-hand vertex identifiers.
+    """
+
+    kind: str
+    adjacency: dict[str, set[object]] = field(default_factory=dict)
+
+    def add_edge(self, domain: str, right_vertex: object) -> None:
+        self.adjacency.setdefault(domain, set()).add(right_vertex)
+
+    @property
+    def domains(self) -> list[str]:
+        return list(self.adjacency)
+
+    @property
+    def domain_count(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def right_vertices(self) -> set[object]:
+        merged: set[object] = set()
+        for neighbors in self.adjacency.values():
+            merged |= neighbors
+        return merged
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(neighbors) for neighbors in self.adjacency.values())
+
+    def degree(self, domain: str) -> int:
+        return len(self.adjacency.get(domain, ()))
+
+    def neighbors(self, domain: str) -> set[object]:
+        return set(self.adjacency.get(domain, set()))
+
+    def restrict_to(self, domains: Iterable[str]) -> "BipartiteGraph":
+        """A copy containing only the given domains."""
+        keep = set(domains)
+        return BipartiteGraph(
+            kind=self.kind,
+            adjacency={
+                domain: set(neighbors)
+                for domain, neighbors in self.adjacency.items()
+                if domain in keep
+            },
+        )
+
+    def incidence_matrix(
+        self, domain_order: list[str] | None = None
+    ) -> tuple[sparse.csr_matrix, list[str], list[object]]:
+        """Binary CSR incidence matrix (domains x right vertices).
+
+        Returns (matrix, domain_order, right_vertex_order). Domains absent
+        from the graph produce all-zero rows when ``domain_order`` is
+        supplied explicitly.
+        """
+        if domain_order is None:
+            domain_order = sorted(self.adjacency)
+        right_order = sorted(self.right_vertices, key=repr)
+        right_index = {vertex: i for i, vertex in enumerate(right_order)}
+        rows: list[int] = []
+        cols: list[int] = []
+        for row, domain in enumerate(domain_order):
+            for vertex in self.adjacency.get(domain, ()):
+                rows.append(row)
+                cols.append(right_index[vertex])
+        matrix = sparse.csr_matrix(
+            (np.ones(len(rows), dtype=np.float64), (rows, cols)),
+            shape=(len(domain_order), len(right_order)),
+        )
+        return matrix, list(domain_order), right_order
+
+
+def _e2ld_or_none(qname: str, psl: PublicSuffixList) -> str | None:
+    """e2LD of a query name, or None when it cannot be aggregated."""
+    if not is_valid_domain_name(qname):
+        return None
+    try:
+        return psl.registered_domain(qname)
+    except DomainNameError:
+        return None
+
+
+def build_host_domain_graph(
+    queries: Iterable[DnsQuery],
+    identity: HostIdentityResolver | None = None,
+    psl: PublicSuffixList | None = None,
+) -> BipartiteGraph:
+    """Host-domain interaction graph HDBG (paper section 4.1.1).
+
+    An edge (h, d) exists when host h issued at least one query for a name
+    in domain d. When a DHCP ``identity`` resolver is supplied, hosts are
+    identified by MAC address (stable under IP churn); otherwise by source
+    IP.
+    """
+    if psl is None:
+        psl = default_psl()
+    graph = BipartiteGraph(kind="host")
+    cache: dict[str, str | None] = {}
+    for query in queries:
+        e2ld = cache.get(query.qname, "")
+        if e2ld == "":
+            e2ld = _e2ld_or_none(query.qname, psl)
+            cache[query.qname] = e2ld
+        if e2ld is None:
+            continue
+        if identity is not None:
+            host = identity.resolve_or_ip(query.source_ip, query.timestamp)
+        else:
+            host = query.source_ip
+        graph.add_edge(e2ld, host)
+    return graph
+
+
+def build_domain_ip_graph(
+    responses: Iterable[DnsResponse],
+    psl: PublicSuffixList | None = None,
+) -> BipartiteGraph:
+    """Domain-IP mapping graph DIBG (paper section 4.1.2).
+
+    An edge (d, ip) exists when some hostname of domain d resolved to ip.
+    NXDOMAIN responses contribute nothing.
+    """
+    if psl is None:
+        psl = default_psl()
+    graph = BipartiteGraph(kind="ip")
+    cache: dict[str, str | None] = {}
+    for response in responses:
+        if response.nxdomain:
+            continue
+        e2ld = cache.get(response.qname, "")
+        if e2ld == "":
+            e2ld = _e2ld_or_none(response.qname, psl)
+            cache[response.qname] = e2ld
+        if e2ld is None:
+            continue
+        for ip in response.resolved_ips:
+            graph.add_edge(e2ld, ip)
+    return graph
+
+
+def build_domain_time_graph(
+    queries: Iterable[DnsQuery],
+    window_seconds: float = DEFAULT_TIME_WINDOW_SECONDS,
+    psl: PublicSuffixList | None = None,
+) -> BipartiteGraph:
+    """Domain-time association graph DTBG (paper section 4.1.3).
+
+    An edge (d, t) exists when domain d was queried at least once during
+    time window t. The paper's window is one minute.
+    """
+    if window_seconds <= 0:
+        raise GraphConstructionError("window_seconds must be positive")
+    if psl is None:
+        psl = default_psl()
+    graph = BipartiteGraph(kind="time")
+    cache: dict[str, str | None] = {}
+    for query in queries:
+        e2ld = cache.get(query.qname, "")
+        if e2ld == "":
+            e2ld = _e2ld_or_none(query.qname, psl)
+            cache[query.qname] = e2ld
+        if e2ld is None:
+            continue
+        graph.add_edge(e2ld, int(query.timestamp // window_seconds))
+    return graph

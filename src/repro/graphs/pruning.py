@@ -1,0 +1,105 @@
+"""Bipartite-graph pruning (paper section 4.1).
+
+Three rules keep the graphs tractable without hurting detection:
+
+1. drop well-known domains queried by more than half the campus hosts
+   (google.com-class services);
+2. drop domains queried by only a single host — the paper notes such
+   domains are picked up later once more behavioral evidence accumulates;
+3. aggregate to e2LDs — applied structurally at graph construction time
+   (see :mod:`repro.graphs.bipartite`), so this module only reports it.
+
+Rules 1-2 are evaluated on the host-domain graph and the surviving domain
+set is then applied consistently to all three graphs, keeping the three
+similarity views aligned over the same vertex set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.bipartite import BipartiteGraph
+
+
+@dataclass(slots=True)
+class PruningRules:
+    """Knobs for the pruning pass.
+
+    Attributes:
+        popular_host_fraction: Rule 1 threshold — domains queried by more
+            than this fraction of observed hosts are dropped (paper: 0.5).
+        min_hosts: Rule 2 threshold — domains queried by fewer than this
+            many hosts are dropped (paper: 2).
+    """
+
+    popular_host_fraction: float = 0.5
+    min_hosts: int = 2
+
+    def validate(self) -> None:
+        if not 0.0 < self.popular_host_fraction <= 1.0:
+            raise ValueError("popular_host_fraction must lie in (0, 1]")
+        if self.min_hosts < 1:
+            raise ValueError("min_hosts must be at least 1")
+
+
+@dataclass(slots=True)
+class PruningReport:
+    """What the pruning pass did, for logging and ablation benches."""
+
+    total_hosts: int
+    domains_before: int
+    dropped_popular: list[str] = field(default_factory=list)
+    dropped_single_host: list[str] = field(default_factory=list)
+    surviving_domains: set[str] = field(default_factory=set)
+
+    @property
+    def domains_after(self) -> int:
+        return len(self.surviving_domains)
+
+    def summary(self) -> str:
+        return (
+            f"pruning: {self.domains_before} domains -> {self.domains_after} "
+            f"(rule1 dropped {len(self.dropped_popular)} popular, "
+            f"rule2 dropped {len(self.dropped_single_host)} single-host; "
+            f"{self.total_hosts} hosts observed)"
+        )
+
+
+def prune_graphs(
+    host_domain: BipartiteGraph,
+    domain_ip: BipartiteGraph,
+    domain_time: BipartiteGraph,
+    rules: PruningRules | None = None,
+) -> tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph, PruningReport]:
+    """Apply rules 1-2 to HDBG and propagate the domain set to all graphs.
+
+    Returns the three pruned graphs and a :class:`PruningReport`. Domains
+    that appear only in the IP or time graph (e.g. responses whose query
+    fell outside the window) are also dropped, keeping the vertex sets
+    consistent.
+    """
+    if rules is None:
+        rules = PruningRules()
+    rules.validate()
+
+    total_hosts = len(host_domain.right_vertices)
+    report = PruningReport(
+        total_hosts=total_hosts,
+        domains_before=host_domain.domain_count,
+    )
+    popular_cutoff = rules.popular_host_fraction * max(total_hosts, 1)
+    for domain, hosts in host_domain.adjacency.items():
+        if len(hosts) > popular_cutoff:
+            report.dropped_popular.append(domain)
+        elif len(hosts) < rules.min_hosts:
+            report.dropped_single_host.append(domain)
+        else:
+            report.surviving_domains.add(domain)
+
+    survivors = report.surviving_domains
+    return (
+        host_domain.restrict_to(survivors),
+        domain_ip.restrict_to(survivors),
+        domain_time.restrict_to(survivors),
+        report,
+    )

@@ -1,0 +1,31 @@
+"""Simulated label sources (paper section 6.1).
+
+The paper labels domains with a blacklist/whitelist from "a large Internet
+security company", validated against the VirusTotal multi-engine API, and
+interprets discovered clusters with ThreatBook reports. None of those
+feeds are available offline, so this package simulates them on top of the
+trace generator's ground truth, with configurable coverage and noise —
+the detection pipeline only ever sees the simulated feeds, never the
+ground truth itself.
+"""
+
+from repro.labels.intelligence import IntelligenceFeed, IntelligenceFeedConfig
+from repro.labels.virustotal import (
+    SimulatedVirusTotal,
+    VirusTotalConfig,
+    VirusTotalReport,
+)
+from repro.labels.threatbook import SimulatedThreatBook, ThreatReport
+from repro.labels.dataset import LabeledDataset, build_labeled_dataset
+
+__all__ = [
+    "IntelligenceFeed",
+    "IntelligenceFeedConfig",
+    "LabeledDataset",
+    "SimulatedThreatBook",
+    "SimulatedVirusTotal",
+    "ThreatReport",
+    "VirusTotalConfig",
+    "VirusTotalReport",
+    "build_labeled_dataset",
+]

@@ -1,0 +1,87 @@
+"""Simulated security-company blacklist / whitelist feed.
+
+Real intelligence feeds are incomplete (they miss young campaign domains)
+and slightly noisy (stale entries). The simulated feed samples from ground
+truth with configurable coverage per category and a small false-positive
+rate, reproducing both properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.groundtruth import GroundTruth
+
+
+@dataclass(slots=True)
+class IntelligenceFeedConfig:
+    """Coverage/noise knobs for the simulated feed.
+
+    Attributes:
+        malicious_coverage: Probability a truly malicious domain appears
+            on the blacklist.
+        benign_coverage: Probability a truly benign domain appears on the
+            whitelist.
+        blacklist_fp_rate: Probability a benign domain is *also* wrongly
+            blacklisted (stale/erroneous entries).
+        age_bias: With age bias > 0, older malicious domains are more
+            likely to be known to the feed (young DGA output is
+            under-covered, as in reality).
+        seed: RNG seed.
+    """
+
+    malicious_coverage: float = 0.75
+    benign_coverage: float = 0.55
+    blacklist_fp_rate: float = 0.01
+    age_bias: float = 0.5
+    seed: int = 101
+
+    def validate(self) -> None:
+        for name in (
+            "malicious_coverage",
+            "benign_coverage",
+            "blacklist_fp_rate",
+            "age_bias",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+
+class IntelligenceFeed:
+    """Blacklist and whitelist sampled from ground truth."""
+
+    def __init__(
+        self, truth: GroundTruth, config: IntelligenceFeedConfig | None = None
+    ) -> None:
+        if config is None:
+            config = IntelligenceFeedConfig()
+        config.validate()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.blacklist: set[str] = set()
+        self.whitelist: set[str] = set()
+        for record in truth:
+            if record.is_malicious:
+                coverage = config.malicious_coverage
+                if config.age_bias > 0:
+                    # Domains younger than ~2 weeks are less covered.
+                    youth = float(
+                        np.clip(1.0 - record.registration_age_days / 14.0, 0.0, 1.0)
+                    )
+                    coverage *= 1.0 - config.age_bias * youth
+                if rng.random() < coverage:
+                    self.blacklist.add(record.name)
+            else:
+                if rng.random() < config.benign_coverage:
+                    self.whitelist.add(record.name)
+                elif rng.random() < config.blacklist_fp_rate:
+                    self.blacklist.add(record.name)
+
+    def is_blacklisted(self, domain: str) -> bool:
+        return domain in self.blacklist
+
+    def is_whitelisted(self, domain: str) -> bool:
+        return domain in self.whitelist

@@ -1,0 +1,77 @@
+"""Simulated ThreatBook-style threat reports.
+
+The paper interprets discovered clusters by looking the members up on
+ThreatBook (Tables 1-2, section 7.2): "most of 61 domains in one cluster
+are reported as spam or phishing domains". The simulated service returns
+a category/family report for domains the (simulated) vendor knows about,
+and nothing for the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.groundtruth import DomainCategory, GroundTruth
+
+_CATEGORY_LABELS = {
+    DomainCategory.DGA: "dga",
+    DomainCategory.CNC: "c2",
+    DomainCategory.SPAM: "spam",
+    DomainCategory.PHISHING: "phishing",
+    DomainCategory.FASTFLUX: "fastflux",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ThreatReport:
+    """A vendor report for one domain."""
+
+    domain: str
+    category: str
+    family: str
+
+
+class SimulatedThreatBook:
+    """Category/family lookups with configurable coverage."""
+
+    def __init__(
+        self, truth: GroundTruth, coverage: float = 0.85, seed: int = 303
+    ) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("coverage must lie in [0, 1]")
+        self._reports: dict[str, ThreatReport] = {}
+        rng = np.random.default_rng(seed)
+        for record in truth:
+            if not record.is_malicious:
+                continue
+            if rng.random() < coverage:
+                self._reports[record.name] = ThreatReport(
+                    domain=record.name,
+                    category=_CATEGORY_LABELS[record.category],
+                    family=record.family,
+                )
+
+    def report(self, domain: str) -> ThreatReport | None:
+        """The vendor's report, or None when the domain is unknown."""
+        return self._reports.get(domain)
+
+    def dominant_category(self, domains: list[str]) -> tuple[str, float]:
+        """Most common reported category in ``domains`` and its share.
+
+        The share is relative to all queried domains (unknown domains
+        dilute it), matching how the paper characterizes clusters
+        ("most of 61 domains ... are reported as spam").
+        """
+        if not domains:
+            return "unknown", 0.0
+        counts: dict[str, int] = {}
+        for domain in domains:
+            report = self._reports.get(domain)
+            if report is not None:
+                counts[report.category] = counts.get(report.category, 0) + 1
+        if not counts:
+            return "unknown", 0.0
+        category = max(counts, key=lambda key: counts[key])
+        return category, counts[category] / len(domains)

@@ -1,0 +1,59 @@
+"""From-scratch machine-learning substrate.
+
+The evaluation environment has no scikit-learn, so the model classes the
+paper uses are implemented here on numpy: an SMO-trained kernel SVM
+(section 6.2), a C4.5-style decision tree for the Exposure baseline
+(section 8.2), k-means++ and X-Means with BIC splitting (section 7.1),
+plus the metrics and cross-validation machinery of section 8.1.
+"""
+
+from repro.ml.calibration import PlattScaler
+from repro.ml.grid_search import GridSearchResult, grid_search
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+from repro.ml.svm import SupportVectorClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.kmeans import KMeans
+from repro.ml.xmeans import XMeans
+from repro.ml.metrics import (
+    accuracy_score,
+    auc,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validated_scores,
+    train_test_split,
+)
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "GridSearchResult",
+    "KFold",
+    "KMeans",
+    "PlattScaler",
+    "StandardScaler",
+    "StratifiedKFold",
+    "SupportVectorClassifier",
+    "XMeans",
+    "accuracy_score",
+    "auc",
+    "confusion_matrix",
+    "cross_validated_scores",
+    "f1_score",
+    "grid_search",
+    "linear_kernel",
+    "polynomial_kernel",
+    "precision_score",
+    "rbf_kernel",
+    "recall_score",
+    "roc_auc_score",
+    "roc_curve",
+    "train_test_split",
+]

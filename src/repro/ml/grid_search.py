@@ -1,0 +1,88 @@
+"""Hyperparameter grid search with cross-validated AUC.
+
+The paper fixes the SVM's penalty (C = 0.09) and kernel coefficient
+(gamma = 0.06) without showing the search. This utility reproduces how
+such values are found: exhaustive grid evaluation under stratified
+k-fold, scored by ROC AUC.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import roc_auc_score
+from repro.ml.model_selection import cross_validated_scores
+
+
+@dataclass(slots=True)
+class GridSearchResult:
+    """Outcome of one grid evaluation."""
+
+    best_params: dict[str, object]
+    best_score: float
+    # Every evaluated cell: (params, score), in evaluation order.
+    evaluations: list[tuple[dict[str, object], float]] = field(
+        default_factory=list
+    )
+
+    def top(self, count: int = 5) -> list[tuple[dict[str, object], float]]:
+        """The best ``count`` cells, strongest first."""
+        return sorted(self.evaluations, key=lambda e: e[1], reverse=True)[
+            :count
+        ]
+
+
+def grid_search(
+    features: np.ndarray,
+    labels: np.ndarray,
+    model_factory: Callable[..., object],
+    param_grid: Mapping[str, Sequence[object]],
+    n_splits: int = 5,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Evaluate every parameter combination with k-fold CV AUC.
+
+    Args:
+        features: (n x d) feature matrix.
+        labels: binary 0/1 labels.
+        model_factory: Called with one combination's keyword arguments;
+            must return an object with fit + decision_function (or
+            predict_proba).
+        param_grid: Parameter name -> candidate values.
+        n_splits: Stratified folds per evaluation.
+        seed: Fold-assignment seed (shared across cells, so every
+            combination sees identical splits).
+
+    Returns:
+        The full evaluation record with the best cell marked.
+    """
+    names = list(param_grid)
+    if not names:
+        raise ValueError("param_grid must contain at least one parameter")
+    evaluations: list[tuple[dict[str, object], float]] = []
+    best_params: dict[str, object] | None = None
+    best_score = -np.inf
+    for values in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, values))
+        scores, __ = cross_validated_scores(
+            features,
+            labels,
+            lambda params=params: model_factory(**params),
+            n_splits=n_splits,
+            seed=seed,
+        )
+        score = roc_auc_score(labels, scores)
+        evaluations.append((params, score))
+        if score > best_score:
+            best_score = score
+            best_params = params
+    assert best_params is not None
+    return GridSearchResult(
+        best_params=best_params,
+        best_score=best_score,
+        evaluations=evaluations,
+    )

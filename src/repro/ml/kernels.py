@@ -1,0 +1,34 @@
+"""Kernel functions for the SVM (paper section 6.2 uses RBF)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """K(x, x') = x · x'."""
+    return np.asarray(a) @ np.asarray(b).T
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float = 0.06) -> np.ndarray:
+    """K(x, x') = exp(-gamma ||x - x'||^2).
+
+    The default gamma matches the paper's kernel coefficient (0.06).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_norms = np.sum(a**2, axis=1)[:, None]
+    b_norms = np.sum(b**2, axis=1)[None, :]
+    squared = np.maximum(a_norms + b_norms - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * squared)
+
+
+def polynomial_kernel(
+    a: np.ndarray,
+    b: np.ndarray,
+    degree: int = 3,
+    gamma: float = 1.0,
+    coef0: float = 1.0,
+) -> np.ndarray:
+    """K(x, x') = (gamma x · x' + coef0)^degree."""
+    return (gamma * (np.asarray(a) @ np.asarray(b).T) + coef0) ** degree

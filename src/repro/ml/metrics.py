@@ -1,0 +1,131 @@
+"""Classification metrics: ROC/AUC and friends (paper section 8.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_binary(labels: np.ndarray) -> np.ndarray:
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError(f"labels must be binary 0/1, got values {unique}")
+    return labels.astype(int)
+
+
+def roc_curve(
+    labels: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points (fpr, tpr, thresholds).
+
+    Thresholds are the distinct scores in decreasing order; a point's
+    (fpr, tpr) corresponds to predicting positive for score >= threshold.
+    A leading (0, 0) point with threshold +inf is included.
+    """
+    labels = _validate_binary(labels)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    positives = int(labels.sum())
+    negatives = labels.size - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("ROC needs both positive and negative samples")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    cumulative_tp = np.cumsum(sorted_labels)
+    cumulative_fp = np.cumsum(1 - sorted_labels)
+    # Keep the last index of each distinct score (tie handling).
+    distinct = np.flatnonzero(
+        np.concatenate([np.diff(sorted_scores) != 0, [True]])
+    )
+    tpr = cumulative_tp[distinct] / positives
+    fpr = cumulative_fp[distinct] / negatives
+    thresholds = sorted_scores[distinct]
+    return (
+        np.concatenate([[0.0], fpr]),
+        np.concatenate([[0.0], tpr]),
+        np.concatenate([[np.inf], thresholds]),
+    )
+
+
+def auc(x: np.ndarray, y: np.ndarray) -> float:
+    """Area under a curve via the trapezoidal rule (x must be sorted)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two points with matching shapes")
+    dx = np.diff(x)
+    if np.any(dx < 0) and np.any(dx > 0):
+        raise ValueError("x must be monotonic")
+    return float(abs(np.sum(dx * (y[1:] + y[:-1]) / 2.0)))
+
+
+def roc_auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve."""
+    fpr, tpr, __ = roc_curve(labels, scores)
+    return auc(fpr, tpr)
+
+
+def confusion_matrix(labels: np.ndarray, predictions: np.ndarray) -> np.ndarray:
+    """2x2 matrix [[tn, fp], [fn, tp]]."""
+    labels = _validate_binary(labels)
+    predictions = _validate_binary(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    tp = int(np.sum((labels == 1) & (predictions == 1)))
+    tn = int(np.sum((labels == 0) & (predictions == 0)))
+    fp = int(np.sum((labels == 0) & (predictions == 1)))
+    fn = int(np.sum((labels == 1) & (predictions == 0)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of predictions matching the labels."""
+    labels = np.asarray(labels)
+    predictions = np.asarray(predictions)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    return float(np.mean(labels == predictions))
+
+
+def precision_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """tp / (tp + fp); 0.0 when nothing was predicted positive."""
+    matrix = confusion_matrix(labels, predictions)
+    tp, fp = matrix[1, 1], matrix[0, 1]
+    return float(tp / (tp + fp)) if tp + fp else 0.0
+
+
+def recall_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """tp / (tp + fn); 0.0 when there are no positives."""
+    matrix = confusion_matrix(labels, predictions)
+    tp, fn = matrix[1, 1], matrix[1, 0]
+    return float(tp / (tp + fn)) if tp + fn else 0.0
+
+
+def f1_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(labels, predictions)
+    recall = recall_score(labels, predictions)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def mean_roc_curve(
+    curves: list[tuple[np.ndarray, np.ndarray]],
+    grid_size: int = 101,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average several ROC curves onto a common FPR grid.
+
+    Used to draw the paper's cross-validated ROC figures: each fold
+    produces one curve; the figure shows the vertical mean.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    grid = np.linspace(0.0, 1.0, grid_size)
+    stacked = np.vstack(
+        [np.interp(grid, fpr, tpr) for fpr, tpr in curves]
+    )
+    return grid, stacked.mean(axis=0)

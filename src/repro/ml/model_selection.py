@@ -1,0 +1,141 @@
+"""Cross-validation and data-splitting utilities (paper section 8.1).
+
+The paper evaluates with k-fold cross-validation (k=10): shuffle the
+labeled set, split into k groups, train on k-1 and test on the held-out
+group, then average. :class:`StratifiedKFold` additionally preserves the
+30/70 malicious/benign class ratio within each fold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+
+class KFold:
+    """Plain k-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, sample_count: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) pairs."""
+        if sample_count < self.n_splits:
+            raise ValueError(
+                f"cannot split {sample_count} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(sample_count)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(indices)
+        for fold in np.array_split(indices, self.n_splits):
+            test = np.sort(fold)
+            train = np.sort(np.setdiff1d(indices, fold, assume_unique=True))
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold preserving the class ratio in every fold."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, labels: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) stratified on ``labels``."""
+        labels = np.asarray(labels)
+        rng = np.random.default_rng(self.seed)
+        per_class_folds: list[list[np.ndarray]] = []
+        for value in np.unique(labels):
+            class_indices = np.flatnonzero(labels == value)
+            if class_indices.size < self.n_splits:
+                raise ValueError(
+                    f"class {value!r} has {class_indices.size} samples, "
+                    f"fewer than n_splits={self.n_splits}"
+                )
+            if self.shuffle:
+                rng.shuffle(class_indices)
+            per_class_folds.append(np.array_split(class_indices, self.n_splits))
+        all_indices = np.arange(labels.size)
+        for fold_number in range(self.n_splits):
+            test = np.sort(
+                np.concatenate([folds[fold_number] for folds in per_class_folds])
+            )
+            train = np.setdiff1d(all_indices, test, assume_unique=True)
+            yield train, test
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.25,
+    stratify: bool = True,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split into (train_x, test_x, train_y, test_y)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must lie in (0, 1)")
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("features and labels disagree on sample count")
+    rng = np.random.default_rng(seed)
+    test_mask = np.zeros(labels.size, dtype=bool)
+    if stratify:
+        for value in np.unique(labels):
+            class_indices = np.flatnonzero(labels == value)
+            rng.shuffle(class_indices)
+            take = max(1, int(round(class_indices.size * test_fraction)))
+            test_mask[class_indices[:take]] = True
+    else:
+        indices = np.arange(labels.size)
+        rng.shuffle(indices)
+        take = max(1, int(round(labels.size * test_fraction)))
+        test_mask[indices[:take]] = True
+    return (
+        features[~test_mask],
+        features[test_mask],
+        labels[~test_mask],
+        labels[test_mask],
+    )
+
+
+def cross_validated_scores(
+    features: np.ndarray,
+    labels: np.ndarray,
+    model_factory: Callable[[], object],
+    n_splits: int = 10,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Out-of-fold decision scores via stratified k-fold.
+
+    Every sample is scored exactly once by a model that never saw it,
+    giving a single pooled ROC over the whole labeled set. ``model_factory``
+    must return objects exposing fit(X, y) and either decision_function or
+    predict_proba.
+
+    Returns:
+        (scores, fold_ids) both aligned with the input sample order.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    scores = np.zeros(labels.size)
+    fold_ids = np.zeros(labels.size, dtype=int)
+    splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
+    for fold_number, (train, test) in enumerate(splitter.split(labels)):
+        model = model_factory()
+        model.fit(features[train], labels[train])
+        if hasattr(model, "decision_function"):
+            fold_scores = model.decision_function(features[test])
+        else:
+            fold_scores = model.predict_proba(features[test])[:, 1]
+        scores[test] = fold_scores
+        fold_ids[test] = fold_number
+    return scores, fold_ids

@@ -1,0 +1,224 @@
+"""Kernel SVM trained with Sequential Minimal Optimization.
+
+The paper's classifier (section 6.2): an RBF-kernel SVM with penalty
+C = 0.09 and kernel coefficient gamma = 0.06, whose decision rule is
+
+    d(x) = sum_i a_i (2 y_i - 1) K(x_i, x) + b            (equation 7)
+
+This implementation solves the standard dual with LIBSVM-style SMO:
+maximal-violating-pair working-set selection over the full precomputed
+kernel matrix, analytic two-variable updates with box constraints, and an
+incremental gradient. The full kernel matrix keeps each iteration O(n)
+numpy work, which handles the paper's ~10k-sample scale in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+
+_TAU = 1e-12
+
+
+@dataclass(slots=True)
+class SmoResult:
+    """Internal solver output."""
+
+    alpha: np.ndarray
+    bias: float
+    iterations: int
+    converged: bool
+
+
+def _solve_smo(
+    kernel_matrix: np.ndarray,
+    labels: np.ndarray,
+    c: float,
+    tolerance: float,
+    max_iterations: int,
+) -> SmoResult:
+    """Solve min 1/2 a^T Q a - e^T a  s.t. 0 <= a <= C, y^T a = 0."""
+    n = labels.size
+    alpha = np.zeros(n)
+    # gradient of the dual objective: G = Q a - e; starts at -e.
+    gradient = -np.ones(n)
+    q_signs = labels[:, None] * labels[None, :]
+
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        iterations += 1
+        # I_up: y=+1 & a<C, or y=-1 & a>0; I_low symmetric.
+        up_mask = ((labels > 0) & (alpha < c - _TAU)) | (
+            (labels < 0) & (alpha > _TAU)
+        )
+        low_mask = ((labels > 0) & (alpha > _TAU)) | (
+            (labels < 0) & (alpha < c - _TAU)
+        )
+        if not up_mask.any() or not low_mask.any():
+            converged = True
+            break
+        scores = -labels * gradient
+        up_scores = np.where(up_mask, scores, -np.inf)
+        low_scores = np.where(low_mask, scores, np.inf)
+        i = int(np.argmax(up_scores))
+        j = int(np.argmin(low_scores))
+        gap = up_scores[i] - low_scores[j]
+        if gap < tolerance:
+            converged = True
+            break
+
+        # Analytic update along the direction (alpha_i += y_i t,
+        # alpha_j -= y_j t), which keeps y^T alpha constant. The curvature
+        # along it is eta = K_ii + K_jj - 2 K_ij for either label pairing.
+        eta = max(
+            kernel_matrix[i, i] + kernel_matrix[j, j] - 2.0 * kernel_matrix[i, j],
+            _TAU,
+        )
+        delta = gap / eta
+
+        old_i, old_j = alpha[i], alpha[j]
+        if labels[i] > 0:
+            max_step_i = c - old_i
+        else:
+            max_step_i = old_i
+        if labels[j] > 0:
+            max_step_j = old_j
+        else:
+            max_step_j = c - old_j
+        step = min(delta, max_step_i, max_step_j)
+        alpha[i] = old_i + labels[i] * step
+        alpha[j] = old_j - labels[j] * step
+
+        # Incremental gradient update: G += Q[:, i] dai + Q[:, j] daj,
+        # with Q[:, t] = y y_t K[:, t].
+        delta_alpha_i = alpha[i] - old_i
+        delta_alpha_j = alpha[j] - old_j
+        gradient += q_signs[:, i] * kernel_matrix[:, i] * delta_alpha_i
+        gradient += q_signs[:, j] * kernel_matrix[:, j] * delta_alpha_j
+
+    # Bias from free support vectors (fall back to bound average).
+    free = (alpha > _TAU) & (alpha < c - _TAU)
+    decision_without_bias = (alpha * labels) @ kernel_matrix
+    if free.any():
+        bias = float(np.mean(labels[free] - decision_without_bias[free]))
+    else:
+        support = alpha > _TAU
+        if support.any():
+            bias = float(np.mean(labels[support] - decision_without_bias[support]))
+        else:
+            bias = 0.0
+    return SmoResult(alpha=alpha, bias=bias, iterations=iterations, converged=converged)
+
+
+class SupportVectorClassifier:
+    """Binary kernel SVM with the paper's defaults (RBF, C=0.09, γ=0.06).
+
+    Labels may be any two values; internally they map to ±1 and
+    :meth:`predict` returns the original values. :meth:`decision_function`
+    returns signed distances d(x) (equation 7); thresholding them at values
+    other than 0 trades precision against recall, which is how the ROC
+    curves in section 8 are produced.
+    """
+
+    def __init__(
+        self,
+        c: float = 0.09,
+        kernel: str = "rbf",
+        gamma: float = 0.06,
+        degree: int = 3,
+        coef0: float = 1.0,
+        tolerance: float = 1e-3,
+        max_iterations: int = 200_000,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("penalty parameter c must be positive")
+        if kernel not in ("rbf", "linear", "poly"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.c = c
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self._support_vectors: np.ndarray | None = None
+        self._support_coefficients: np.ndarray | None = None
+        self._bias = 0.0
+        self._classes: np.ndarray | None = None
+        self.iterations_: int | None = None
+        self.converged_: bool | None = None
+
+    def _kernel_function(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.kernel == "rbf":
+            return rbf_kernel(a, b, gamma=self.gamma)
+        if self.kernel == "linear":
+            return linear_kernel(a, b)
+        return polynomial_kernel(
+            a, b, degree=self.degree, gamma=self.gamma, coef0=self.coef0
+        )
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "SupportVectorClassifier":
+        """Train on (n x d) features and binary labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        classes = np.unique(labels)
+        if classes.size != 2:
+            raise ValueError(
+                f"binary classifier needs exactly 2 classes, got {classes.size}"
+            )
+        self._classes = classes
+        signed = np.where(labels == classes[1], 1.0, -1.0)
+
+        kernel_matrix = self._kernel_function(features, features)
+        result = _solve_smo(
+            kernel_matrix, signed, self.c, self.tolerance, self.max_iterations
+        )
+        self.iterations_ = result.iterations
+        self.converged_ = result.converged
+
+        support = result.alpha > _TAU
+        self._support_vectors = features[support]
+        self._support_coefficients = result.alpha[support] * signed[support]
+        self._bias = result.bias
+        return self
+
+    @property
+    def support_vector_count(self) -> int:
+        if self._support_vectors is None:
+            raise NotFittedError("SupportVectorClassifier")
+        return int(self._support_vectors.shape[0])
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed distance to the decision boundary for each sample."""
+        if self._support_vectors is None or self._support_coefficients is None:
+            raise NotFittedError("SupportVectorClassifier")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        if self._support_vectors.shape[0] == 0:
+            return np.full(features.shape[0], self._bias)
+        kernel_block = self._kernel_function(features, self._support_vectors)
+        return kernel_block @ self._support_coefficients + self._bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class labels (original label values)."""
+        if self._classes is None:
+            raise NotFittedError("SupportVectorClassifier")
+        scores = self.decision_function(features)
+        return np.where(scores >= 0, self._classes[1], self._classes[0])
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean accuracy on the given test set."""
+        predictions = self.predict(features)
+        return float(np.mean(predictions == np.asarray(labels)))

@@ -1,0 +1,323 @@
+"""C4.5-style decision tree ("J48" is Weka's C4.5 implementation).
+
+The Exposure baseline (paper section 8.2) trains a J48 decision tree on
+statistical DNS features. This implementation covers the parts of C4.5
+that matter for that use: gain-ratio split selection over continuous
+attributes (binary <= threshold splits at class-boundary midpoints),
+minimum-leaf constraints, and C4.5's pessimistic (confidence-based) error
+pruning with Weka's default confidence factor 0.25. ``predict_proba``
+exposes leaf class distributions so ROC curves can be drawn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+_EPS = 1e-12
+
+
+@dataclass(slots=True)
+class _Node:
+    """A tree node; leaves carry a class distribution."""
+
+    counts: np.ndarray  # per-class training counts reaching this node
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def errors(self) -> float:
+        """Training errors if this node were a leaf."""
+        return self.total - float(self.counts.max())
+
+    def probabilities(self, laplace: bool) -> np.ndarray:
+        total = self.counts.sum()
+        if total <= 0:
+            return np.full(self.counts.size, 1.0 / self.counts.size)
+        if laplace:
+            return (self.counts + 1.0) / (total + self.counts.size)
+        # Raw leaf frequencies — Weka J48's default (-A off). Pure leaves
+        # emit exactly 0/1, so rankings are coarse and tie-heavy.
+        return self.counts / total
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-np.sum(probabilities * np.log2(probabilities)))
+
+
+def _pessimistic_errors(errors: float, total: float, confidence: float) -> float:
+    """C4.5's upper confidence bound on the leaf error count.
+
+    Uses the normal approximation to the binomial upper limit, as in
+    Quinlan's C4.5 (and Weka's J48) with default CF = 0.25 -> z ~ 0.6745.
+    """
+    if total <= 0:
+        return 0.0
+    z = _z_from_confidence(confidence)
+    f = errors / total
+    numerator = (
+        f
+        + z * z / (2 * total)
+        + z * math.sqrt(max(f / total - f * f / total + z * z / (4 * total * total), 0.0))
+    )
+    return total * numerator / (1 + z * z / total)
+
+
+@lru_cache(maxsize=16)
+def _z_from_confidence(confidence: float) -> float:
+    """Inverse normal CDF of (1 - confidence)."""
+    from scipy.special import ndtri
+
+    return float(ndtri(1.0 - confidence))
+
+
+class DecisionTreeClassifier:
+    """Binary/multiclass C4.5-style tree over continuous features.
+
+    Args:
+        min_samples_leaf: Weka's ``-M`` (default 2).
+        confidence: Pruning confidence factor, Weka's ``-C`` (default
+            0.25); ``None`` disables pruning.
+        max_depth: Optional hard depth cap.
+    """
+
+    def __init__(
+        self,
+        min_samples_leaf: int = 2,
+        confidence: float | None = 0.25,
+        max_depth: int | None = None,
+        laplace: bool = False,
+    ) -> None:
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        if confidence is not None and not 0.0 < confidence < 0.5:
+            raise ValueError("confidence must lie in (0, 0.5)")
+        self.min_samples_leaf = min_samples_leaf
+        self.confidence = confidence
+        self.max_depth = max_depth
+        self.laplace = laplace
+        self._root: _Node | None = None
+        self._classes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        self._classes, encoded = np.unique(labels, return_inverse=True)
+        self._root = self._grow(features, encoded, depth=0)
+        if self.confidence is not None:
+            self._prune(self._root)
+        return self
+
+    def _class_counts(self, encoded: np.ndarray) -> np.ndarray:
+        assert self._classes is not None
+        return np.bincount(encoded, minlength=self._classes.size).astype(float)
+
+    def _grow(self, features: np.ndarray, encoded: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(encoded)
+        node = _Node(counts=counts, depth=depth)
+        if (
+            encoded.size < 2 * self.min_samples_leaf
+            or np.count_nonzero(counts) <= 1
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+
+        best = self._best_split(features, encoded)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], encoded[mask], depth + 1)
+        node.right = self._grow(features[~mask], encoded[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, encoded: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Gain-ratio-maximizing (feature, threshold), or None.
+
+        Following C4.5, only splits whose information gain is at least the
+        average gain of all candidate splits compete on gain ratio; this
+        guards against the ratio favoring near-trivial splits.
+        """
+        parent_entropy = _entropy(self._class_counts(encoded))
+        n = encoded.size
+        class_count = int(self._class_counts(encoded).size)
+        ratios_all: list[np.ndarray] = []
+        gains_all: list[np.ndarray] = []
+        features_all: list[np.ndarray] = []
+        thresholds_all: list[np.ndarray] = []
+        for feature in range(features.shape[1]):
+            order = np.argsort(features[:, feature], kind="stable")
+            values = features[order, feature]
+            classes = encoded[order]
+            # Candidate cut positions: where the value actually changes,
+            # respecting the minimum leaf size on both sides.
+            change = np.flatnonzero(np.diff(values) > _EPS) + 1
+            change = change[
+                (change >= self.min_samples_leaf)
+                & (n - change >= self.min_samples_leaf)
+            ]
+            if change.size == 0:
+                continue
+            one_hot = np.zeros((n, class_count))
+            one_hot[np.arange(n), classes] = 1.0
+            prefix = np.cumsum(one_hot, axis=0)
+            left_counts = prefix[change - 1]  # (cuts x classes)
+            right_counts = prefix[-1] - left_counts
+
+            def batch_entropy(counts: np.ndarray) -> np.ndarray:
+                totals = counts.sum(axis=1, keepdims=True)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    p = np.where(totals > 0, counts / totals, 0.0)
+                    logs = np.where(p > 0, np.log2(p), 0.0)
+                return -np.sum(p * logs, axis=1)
+
+            weight_left = change / n
+            weight_right = 1.0 - weight_left
+            gains = parent_entropy - (
+                weight_left * batch_entropy(left_counts)
+                + weight_right * batch_entropy(right_counts)
+            )
+            split_info = -(
+                weight_left * np.log2(weight_left)
+                + weight_right * np.log2(weight_right)
+            )
+            keep = gains > _EPS
+            if not keep.any():
+                continue
+            ratios_all.append(gains[keep] / np.maximum(split_info[keep], _EPS))
+            gains_all.append(gains[keep])
+            features_all.append(np.full(int(keep.sum()), feature))
+            thresholds_all.append(
+                (values[change[keep] - 1] + values[change[keep]]) / 2.0
+            )
+        if not ratios_all:
+            return None
+        ratios = np.concatenate(ratios_all)
+        gains = np.concatenate(gains_all)
+        feature_ids = np.concatenate(features_all)
+        thresholds = np.concatenate(thresholds_all)
+        # C4.5 heuristic: only splits with at least average gain compete
+        # on gain ratio (guards against near-trivial splits winning).
+        eligible = gains >= gains.mean() - _EPS
+        pick_pool = np.flatnonzero(eligible)
+        pick = pick_pool[int(np.argmax(ratios[eligible]))]
+        if ratios[pick] <= _EPS:
+            return None
+        return int(feature_ids[pick]), float(thresholds[pick])
+
+    # ------------------------------------------------------------------
+    # Pruning
+
+    def _prune(self, node: _Node) -> float:
+        """Bottom-up pessimistic pruning; returns estimated subtree errors."""
+        assert self.confidence is not None
+        if node.is_leaf:
+            return _pessimistic_errors(node.errors, node.total, self.confidence)
+        assert node.left is not None and node.right is not None
+        subtree_errors = self._prune(node.left) + self._prune(node.right)
+        leaf_errors = _pessimistic_errors(node.errors, node.total, self.confidence)
+        if leaf_errors <= subtree_errors + _EPS:
+            node.left = None
+            node.right = None
+            node.feature = -1
+            return leaf_errors
+        return subtree_errors
+
+    # ------------------------------------------------------------------
+    # Inference
+
+    def _leaf_for(self, sample: np.ndarray) -> _Node:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier")
+        node = self._root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if sample[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-class probabilities from leaf class distributions.
+
+        Raw leaf frequencies by default (Weka J48's behavior); pass
+        ``laplace=True`` at construction for smoothed estimates.
+        """
+        if self._root is None or self._classes is None:
+            raise NotFittedError("DecisionTreeClassifier")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        return np.vstack(
+            [
+                self._leaf_for(sample).probabilities(self.laplace)
+                for sample in features
+            ]
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._classes is None:
+            raise NotFittedError("DecisionTreeClassifier")
+        probabilities = self.predict_proba(features)
+        return self._classes[np.argmax(probabilities, axis=1)]
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(features) == np.asarray(labels)))
+
+    @property
+    def node_count(self) -> int:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier")
+        stack = [self._root]
+        count = 0
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.extend((node.left, node.right))
+        return count
+
+    @property
+    def depth(self) -> int:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier")
+        stack = [(self._root, 0)]
+        deepest = 0
+        while stack:
+            node, depth = stack.pop()
+            deepest = max(deepest, depth)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))
+        return deepest

@@ -1,0 +1,162 @@
+"""X-Means: k-means with automatic selection of k (Pelleg & Moore, 2000).
+
+The paper clusters domain embeddings with X-Means "due to its simplicity
+and automated selection and optimization on the number of clusters"
+(section 7.1). Starting from ``k_min`` centers, each cluster is test-split
+into two by a local k-means; the split is kept when it improves the
+Bayesian Information Criterion under an identical spherical-Gaussian
+model, and the process repeats until no split is accepted or ``k_max`` is
+reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.kmeans import KMeans
+
+_EPS = 1e-12
+
+
+def _spherical_log_likelihood(
+    points: np.ndarray, center: np.ndarray, total_points: int
+) -> float:
+    """Log-likelihood of one cluster under the identical-variance model.
+
+    Follows Pelleg & Moore's formulation: the maximum-likelihood variance
+    is pooled within the cluster, and each point also carries a log prior
+    for belonging to this cluster (n_i / N).
+    """
+    n, dims = points.shape
+    if n <= 1:
+        return 0.0
+    variance = float(np.sum((points - center) ** 2)) / (dims * max(n - 1, 1))
+    variance = max(variance, _EPS)
+    return float(
+        -0.5 * n * dims * np.log(2.0 * np.pi * variance)
+        - 0.5 * dims * (n - 1)
+        + n * np.log(n / total_points)
+    )
+
+
+def _bic(
+    data: np.ndarray,
+    centers: np.ndarray,
+    labels: np.ndarray,
+) -> float:
+    """BIC of a k-means solution (higher is better)."""
+    n, dims = data.shape
+    k = centers.shape[0]
+    log_likelihood = 0.0
+    for cluster in range(k):
+        members = data[labels == cluster]
+        if members.shape[0] == 0:
+            continue
+        log_likelihood += _spherical_log_likelihood(members, centers[cluster], n)
+    parameter_count = k * (dims + 1)  # centers + shared variance per cluster
+    return log_likelihood - 0.5 * parameter_count * np.log(n)
+
+
+class XMeans:
+    """Cluster with an automatically chosen number of clusters.
+
+    Attributes (after fit):
+        cluster_centers_: chosen centers.
+        labels_: per-sample assignments.
+        n_clusters_: chosen k.
+    """
+
+    def __init__(
+        self,
+        k_min: int = 2,
+        k_max: int = 50,
+        max_improvement_rounds: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if k_min < 1:
+            raise ValueError("k_min must be at least 1")
+        if k_max < k_min:
+            raise ValueError("k_max must be >= k_min")
+        self.k_min = k_min
+        self.k_max = k_max
+        self.max_improvement_rounds = max_improvement_rounds
+        self.seed = seed
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.n_clusters_: int | None = None
+
+    def fit(self, data: np.ndarray) -> "XMeans":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a 2-D array")
+        if data.shape[0] < self.k_min:
+            raise ValueError("fewer samples than k_min")
+
+        k = min(self.k_min, data.shape[0])
+        model = KMeans(n_clusters=k, seed=self.seed).fit(data)
+        centers = model.cluster_centers_
+        labels = model.labels_
+        assert centers is not None and labels is not None
+
+        for round_number in range(self.max_improvement_rounds):
+            new_centers: list[np.ndarray] = []
+            split_any = False
+            for cluster in range(centers.shape[0]):
+                members = data[labels == cluster]
+                if (
+                    members.shape[0] < 4
+                    or centers.shape[0] + len(new_centers) - cluster >= self.k_max
+                ):
+                    new_centers.append(centers[cluster])
+                    continue
+                parent_center = members.mean(axis=0)
+                parent_bic = _bic(
+                    members, parent_center[None, :], np.zeros(members.shape[0], int)
+                )
+                child_model = KMeans(
+                    n_clusters=2, seed=self.seed + 31 * round_number + cluster
+                ).fit(members)
+                assert child_model.cluster_centers_ is not None
+                assert child_model.labels_ is not None
+                child_bic = _bic(
+                    members, child_model.cluster_centers_, child_model.labels_
+                )
+                if child_bic > parent_bic:
+                    new_centers.extend(child_model.cluster_centers_)
+                    split_any = True
+                else:
+                    new_centers.append(centers[cluster])
+            if not split_any:
+                break
+            k = len(new_centers)
+            # Re-fit globally at the new k so points can migrate across
+            # the split boundaries (Pelleg & Moore's improve-params step).
+            model = KMeans(n_clusters=k, seed=self.seed + round_number + 1)
+            model.fit(data)
+            centers = model.cluster_centers_
+            labels = model.labels_
+            assert centers is not None and labels is not None
+            if k >= self.k_max:
+                break
+
+        self.cluster_centers_ = centers
+        self.labels_ = labels
+        self.n_clusters_ = int(centers.shape[0])
+        return self
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        self.fit(data)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("XMeans")
+        data = np.asarray(data, dtype=np.float64)
+        distances = (
+            np.sum(data**2, axis=1)[:, None]
+            - 2.0 * data @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.argmin(distances, axis=1)

@@ -1,0 +1,11 @@
+"""Netflow substrate for cluster traffic-pattern mining (paper §7.2.2)."""
+
+from repro.netflow.flows import FlowRecord, NetflowSimulator
+from repro.netflow.patterns import ClusterTrafficPattern, mine_cluster_patterns
+
+__all__ = [
+    "ClusterTrafficPattern",
+    "FlowRecord",
+    "NetflowSimulator",
+    "mine_cluster_patterns",
+]

@@ -1,0 +1,263 @@
+"""Simulation configuration.
+
+All knobs controlling the synthetic campus trace live here, grouped into
+sub-configs per subsystem. Construction validates ranges eagerly so a bad
+experiment fails before minutes of generation work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationConfigError
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_MINUTE = 60.0
+
+
+@dataclass(slots=True)
+class HostPopulationConfig:
+    """Size and composition of the campus host population.
+
+    The device-class mix loosely follows a campus network: interactive
+    devices (desktops/laptops/phones) browse the web; servers and IoT
+    devices query a small fixed set of service domains.
+    """
+
+    host_count: int = 250
+    desktop_fraction: float = 0.35
+    laptop_fraction: float = 0.30
+    phone_fraction: float = 0.25
+    iot_fraction: float = 0.10
+    # Mean number of web sessions per interactive host per active day.
+    sessions_per_day: float = 30.0
+    # Mean DHCP lease duration in hours; mobility re-assigns phone IPs.
+    lease_hours: float = 12.0
+
+    def validate(self) -> None:
+        if self.host_count < 4:
+            raise SimulationConfigError("host_count must be at least 4")
+        mix = (
+            self.desktop_fraction
+            + self.laptop_fraction
+            + self.phone_fraction
+            + self.iot_fraction
+        )
+        if abs(mix - 1.0) > 1e-6:
+            raise SimulationConfigError(
+                f"device-class fractions must sum to 1 (got {mix:.4f})"
+            )
+        if self.sessions_per_day <= 0:
+            raise SimulationConfigError("sessions_per_day must be positive")
+        if self.lease_hours <= 0:
+            raise SimulationConfigError("lease_hours must be positive")
+
+
+@dataclass(slots=True)
+class BenignCatalogConfig:
+    """Composition of the benign domain catalog.
+
+    ``popular_site_count`` sites form the head of a Zipf popularity
+    distribution and embed third-party domains (ads, CDNs, analytics) the
+    way real pages do; ``longtail_site_count`` sites form the tail. Shared
+    hosting packs many small sites onto few IPs, which is the main benign
+    confounder for the IP-resolving similarity view.
+    """
+
+    popular_site_count: int = 120
+    longtail_site_count: int = 1_600
+    third_party_count: int = 160
+    cdn_provider_count: int = 8
+    shared_hosting_provider_count: int = 36
+    # Fraction of long-tail sites placed on shared hosting.
+    shared_hosting_fraction: float = 0.55
+    # Mean embedded third-party domains per popular page.
+    embedded_per_page: float = 6.0
+    zipf_exponent: float = 1.1
+    # Benign background services (update checks, mail sync, telemetry):
+    # domains polled periodically by subscribed hosts — behaviorally the
+    # benign twin of C&C beaconing, and the reason time-based statistics
+    # alone cannot separate the classes.
+    background_service_count: int = 90
+    services_per_host: int = 6
+
+    def validate(self) -> None:
+        if self.popular_site_count < 10:
+            raise SimulationConfigError("popular_site_count must be >= 10")
+        if self.longtail_site_count < 0:
+            raise SimulationConfigError("longtail_site_count must be >= 0")
+        if self.third_party_count < 5:
+            raise SimulationConfigError("third_party_count must be >= 5")
+        if not 0.0 <= self.shared_hosting_fraction <= 1.0:
+            raise SimulationConfigError(
+                "shared_hosting_fraction must lie in [0, 1]"
+            )
+        if self.zipf_exponent <= 1.0:
+            raise SimulationConfigError("zipf_exponent must exceed 1.0")
+        if self.background_service_count < 0:
+            raise SimulationConfigError("background_service_count must be >= 0")
+        if self.services_per_host < 0:
+            raise SimulationConfigError("services_per_host must be >= 0")
+
+
+@dataclass(slots=True)
+class MalwareConfig:
+    """Malware landscape: families, infections, and campaign sizes.
+
+    Family counts are chosen so the default trace yields on the order of a
+    thousand malicious e2LDs — matching the paper's labeled set, which is
+    ~30% malicious out of 10k+ domains (section 6.1) at full scale.
+    """
+
+    dga_botnet_count: int = 4
+    domains_per_dga_family: int = 130
+    hosts_per_dga_family: int = 9
+    cnc_family_count: int = 5
+    domains_per_cnc_family: int = 28
+    hosts_per_cnc_family: int = 7
+    spam_campaign_count: int = 4
+    domains_per_spam_campaign: int = 55
+    hosts_per_spam_campaign: int = 30
+    phishing_campaign_count: int = 3
+    domains_per_phishing_campaign: int = 35
+    hosts_per_phishing_campaign: int = 22
+    fastflux_family_count: int = 2
+    domains_per_fastflux_family: int = 40
+    hosts_per_fastflux_family: int = 8
+    # Beaconing interval for C&C check-ins, in minutes (mean of exponential).
+    beacon_interval_minutes: float = 45.0
+    # Probability that a clean host stumbles onto a malicious domain
+    # (e.g. a phishing link in email) during any one of its sessions.
+    accidental_contact_rate: float = 0.006
+    # Fraction of malicious infrastructure that parks on shared hosting
+    # alongside benign sites (weakens the IP view, a realistic confounder).
+    shared_hosting_overlap: float = 0.08
+
+    def validate(self) -> None:
+        for name in (
+            "dga_botnet_count",
+            "cnc_family_count",
+            "spam_campaign_count",
+            "phishing_campaign_count",
+            "fastflux_family_count",
+        ):
+            if getattr(self, name) < 0:
+                raise SimulationConfigError(f"{name} must be >= 0")
+        if self.beacon_interval_minutes <= 0:
+            raise SimulationConfigError("beacon_interval_minutes must be positive")
+        if not 0.0 <= self.accidental_contact_rate <= 1.0:
+            raise SimulationConfigError(
+                "accidental_contact_rate must lie in [0, 1]"
+            )
+        if not 0.0 <= self.shared_hosting_overlap <= 1.0:
+            raise SimulationConfigError(
+                "shared_hosting_overlap must lie in [0, 1]"
+            )
+
+    @property
+    def total_malicious_domains(self) -> int:
+        """Total malicious e2LDs the configured landscape will create."""
+        return (
+            self.dga_botnet_count * self.domains_per_dga_family
+            + self.cnc_family_count * self.domains_per_cnc_family
+            + self.spam_campaign_count * self.domains_per_spam_campaign
+            + self.phishing_campaign_count * self.domains_per_phishing_campaign
+            + self.fastflux_family_count * self.domains_per_fastflux_family
+        )
+
+
+@dataclass(slots=True)
+class SimulationConfig:
+    """Top-level simulation parameters.
+
+    Attributes:
+        duration_days: Length of the simulated capture (the paper uses one
+            month; benches default to a shorter window for tractability —
+            the relational structure is scale-stable).
+        seed: Master RNG seed; every run with the same config and seed is
+            bit-for-bit reproducible.
+    """
+
+    duration_days: float = 14.0
+    seed: int = 7
+    # When set, the malware landscape draws from its own RNG stream, so
+    # two captures with different ``seed`` but equal ``malware_seed``
+    # share the same global threat infrastructure (campaign domains and
+    # addresses) while local benign traffic differs — the multi-campus
+    # scenario of the paper's future work (section 10).
+    malware_seed: int | None = None
+    hosts: HostPopulationConfig = field(default_factory=HostPopulationConfig)
+    benign: BenignCatalogConfig = field(default_factory=BenignCatalogConfig)
+    malware: MalwareConfig = field(default_factory=MalwareConfig)
+
+    def validate(self) -> None:
+        """Validate all sub-configs; raises SimulationConfigError."""
+        if self.duration_days <= 0:
+            raise SimulationConfigError("duration_days must be positive")
+        self.hosts.validate()
+        self.benign.validate()
+        self.malware.validate()
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_days * SECONDS_PER_DAY
+
+    @classmethod
+    def tiny(cls, seed: int = 7) -> "SimulationConfig":
+        """A minutes-long configuration for unit tests."""
+        return cls(
+            duration_days=1.0,
+            seed=seed,
+            hosts=HostPopulationConfig(host_count=40, sessions_per_day=12.0),
+            benign=BenignCatalogConfig(
+                popular_site_count=20,
+                longtail_site_count=120,
+                third_party_count=25,
+                cdn_provider_count=3,
+                shared_hosting_provider_count=4,
+            ),
+            malware=MalwareConfig(
+                dga_botnet_count=1,
+                domains_per_dga_family=30,
+                hosts_per_dga_family=4,
+                cnc_family_count=1,
+                domains_per_cnc_family=10,
+                hosts_per_cnc_family=3,
+                spam_campaign_count=1,
+                domains_per_spam_campaign=12,
+                hosts_per_spam_campaign=8,
+                phishing_campaign_count=1,
+                domains_per_phishing_campaign=8,
+                hosts_per_phishing_campaign=6,
+                fastflux_family_count=1,
+                domains_per_fastflux_family=8,
+                hosts_per_fastflux_family=3,
+            ),
+        )
+
+    @classmethod
+    def paper_scale(cls, seed: int = 7) -> "SimulationConfig":
+        """A configuration sized like the paper's labeled set (10k+ e2LDs).
+
+        Generation takes minutes; benches use the default (medium) scale
+        unless full scale is explicitly requested.
+        """
+        return cls(
+            duration_days=28.0,
+            seed=seed,
+            hosts=HostPopulationConfig(host_count=600),
+            benign=BenignCatalogConfig(
+                popular_site_count=300,
+                longtail_site_count=7_000,
+                third_party_count=400,
+                cdn_provider_count=12,
+                shared_hosting_provider_count=25,
+            ),
+            malware=MalwareConfig(
+                dga_botnet_count=8,
+                cnc_family_count=12,
+                spam_campaign_count=10,
+                phishing_campaign_count=8,
+                fastflux_family_count=5,
+            ),
+        )

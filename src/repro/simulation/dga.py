@@ -1,0 +1,163 @@
+"""Domain generation algorithms (DGAs).
+
+Botnets flux through algorithmically generated domains to evade blacklists
+(paper section 2). Three generator styles are modeled on well-known
+families:
+
+* :class:`PseudoRandomDga` — uniform random letters, Conficker-style
+  (the paper's Table 2 cluster: ``oorfapjflmp.ws`` etc.);
+* :class:`HexDga` — hexadecimal strings, Bamital-style;
+* :class:`WordlistDga` — concatenated dictionary words, Suppobox-style
+  (these defeat simple lexical detectors, which is one reason the paper's
+  behavioral features beat Exposure's lexical features).
+
+All generators are deterministic in (seed, index) so a family's domain
+stream is reproducible.
+"""
+
+from __future__ import annotations
+
+import string
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+_LETTERS = np.array(list(string.ascii_lowercase))
+_HEX = np.array(list("0123456789abcdef"))
+
+# A compact pronounceable wordlist in the style of dictionary DGAs.
+_WORDS = (
+    "able", "acid", "aged", "also", "area", "army", "away", "baby", "back",
+    "ball", "band", "bank", "base", "bath", "bear", "beat", "bell", "belt",
+    "bird", "blow", "blue", "boat", "body", "bone", "book", "born", "both",
+    "bowl", "bulk", "burn", "bush", "busy", "call", "calm", "came", "camp",
+    "card", "care", "case", "cash", "cast", "cell", "chat", "chip", "city",
+    "club", "coal", "coat", "code", "cold", "come", "cook", "cool", "cope",
+    "copy", "core", "cost", "crew", "crop", "dark", "data", "date", "dawn",
+    "days", "dead", "deal", "dean", "dear", "debt", "deep", "deny", "desk",
+    "dial", "diet", "disc", "disk", "does", "done", "door", "dose", "down",
+    "draw", "drew", "drop", "drug", "dual", "duke", "dust", "duty", "each",
+    "earn", "ease", "east", "easy", "edge", "else", "even", "ever", "evil",
+    "exit", "face", "fact", "fail", "fair", "fall", "farm", "fast", "fate",
+    "fear", "feed", "feel", "feet", "fell", "felt", "file", "fill", "film",
+    "find", "fine", "fire", "firm", "fish", "five", "flat", "flow", "food",
+    "foot", "ford", "form", "fort", "four", "free", "from", "fuel", "full",
+    "fund", "gain", "game", "gate", "gave", "gear", "gift", "girl", "give",
+    "glad", "goal", "goes", "gold", "golf", "gone", "good", "gray", "grew",
+    "grey", "grow", "gulf", "hair", "half", "hall", "hand", "hang", "hard",
+    "harm", "hate", "have", "head", "hear", "heat", "held", "hell", "help",
+)
+
+
+class DgaGenerator(ABC):
+    """Deterministic stream of generated domain names."""
+
+    def __init__(self, seed: int, tld: str) -> None:
+        self.seed = seed
+        self.tld = tld.lstrip(".")
+
+    @abstractmethod
+    def _label(self, rng: np.random.Generator) -> str:
+        """Generate the registrable label for one domain."""
+
+    def domain(self, index: int) -> str:
+        """The ``index``-th domain of the stream (stable across calls)."""
+        rng = np.random.default_rng((self.seed, index))
+        return f"{self._label(rng)}.{self.tld}"
+
+    def domains(self, count: int, start: int = 0) -> list[str]:
+        """The first ``count`` domains from offset ``start``, deduplicated.
+
+        Collisions are vanishingly rare for the random styles but possible
+        for the wordlist style; extra indices are consumed as needed so the
+        result always contains ``count`` distinct names.
+        """
+        seen: dict[str, None] = {}
+        index = start
+        while len(seen) < count:
+            seen.setdefault(self.domain(index), None)
+            index += 1
+            if index - start > 50 * count + 1000:
+                raise RuntimeError(
+                    f"{type(self).__name__} cannot produce {count} distinct names"
+                )
+        return list(seen)
+
+
+class PseudoRandomDga(DgaGenerator):
+    """Uniform random lowercase letters (Conficker-style)."""
+
+    def __init__(self, seed: int, tld: str = "ws", length: int = 11) -> None:
+        super().__init__(seed, tld)
+        if length < 4:
+            raise ValueError("DGA label length must be at least 4")
+        self.length = length
+
+    def _label(self, rng: np.random.Generator) -> str:
+        return "".join(rng.choice(_LETTERS, size=self.length))
+
+
+class HexDga(DgaGenerator):
+    """Hexadecimal labels (Bamital-style hashes)."""
+
+    def __init__(self, seed: int, tld: str = "info", length: int = 16) -> None:
+        super().__init__(seed, tld)
+        if length < 8:
+            raise ValueError("hex DGA label length must be at least 8")
+        self.length = length
+
+    def _label(self, rng: np.random.Generator) -> str:
+        return "".join(rng.choice(_HEX, size=self.length))
+
+
+class WordlistDga(DgaGenerator):
+    """Two or three dictionary words concatenated (Suppobox-style).
+
+    Produces pronounceable, lexically benign-looking names that defeat
+    character-distribution detectors.
+    """
+
+    def __init__(self, seed: int, tld: str = "net", words_per_name: int = 2) -> None:
+        super().__init__(seed, tld)
+        if not 2 <= words_per_name <= 3:
+            raise ValueError("words_per_name must be 2 or 3")
+        self.words_per_name = words_per_name
+
+    def _label(self, rng: np.random.Generator) -> str:
+        picks = rng.integers(0, len(_WORDS), size=self.words_per_name)
+        return "".join(_WORDS[int(i)] for i in picks)
+
+
+def spam_campaign_names(
+    seed: int, count: int, tld: str = "bid"
+) -> list[str]:
+    """Names in the style of the paper's Table 1 spam cluster.
+
+    Real spam campaigns register squatting-flavored keyword mashups
+    (``fattylivercur.bid``, ``bstwoodprofit.bid``). We mimic that by fusing
+    topic keywords with filler syllables and occasional letter drops.
+    """
+    topics = (
+        "profit", "holster", "turmeric", "canvas", "solar", "flight",
+        "permit", "detect", "cure", "wood", "belly", "ankle", "nano",
+        "cook", "muzic", "liver", "fatty", "easy", "best", "nice",
+        "clean", "drger", "gam", "amrica", "vegn", "brv", "concld",
+    )
+    syllables = ("tol", "dit", "fane", "putch", "clen", "lrn", "sim", "bst")
+    rng = np.random.default_rng(seed)
+    names: dict[str, None] = {}
+    while len(names) < count:
+        parts = [
+            topics[int(rng.integers(len(topics)))],
+            (topics + syllables)[int(rng.integers(len(topics) + len(syllables)))],
+        ]
+        label = "".join(parts)
+        # Occasionally drop a vowel, the way squatters compress words.
+        if rng.random() < 0.4:
+            vowel_positions = [i for i, c in enumerate(label) if c in "aeiou"]
+            if vowel_positions:
+                drop = vowel_positions[int(rng.integers(len(vowel_positions)))]
+                label = label[:drop] + label[drop + 1 :]
+        if 6 <= len(label) <= 18:
+            names.setdefault(f"{label}.{tld}", None)
+    return list(names)

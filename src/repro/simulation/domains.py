@@ -1,0 +1,430 @@
+"""Benign domain catalog.
+
+Builds the benign side of the simulated Internet: popular sites with
+embedded third-party domains (ads, analytics, CDNs), a long tail of small
+sites (many on shared hosting), and CDN infrastructure domains. Each
+domain carries a hosting assignment that drives the domain-IP bipartite
+graph, and a TTL policy that feeds the Exposure baseline's TTL features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.config import BenignCatalogConfig
+from repro.simulation.groundtruth import DomainCategory, DomainRecord
+from repro.simulation.ipspace import IpSpace, RotatingPool
+
+_NAME_STEMS = (
+    "campus", "river", "stone", "maple", "cedar", "summit", "harbor",
+    "lantern", "meadow", "orchid", "pioneer", "quartz", "raven", "sierra",
+    "timber", "violet", "willow", "zephyr", "aurora", "beacon", "canyon",
+    "delta", "ember", "falcon", "garnet", "horizon", "indigo", "juniper",
+    "kestrel", "lagoon", "mosaic", "nimbus", "onyx", "prairie", "quill",
+    "ridge", "sparrow", "tundra", "umber", "vertex", "wander", "xenon",
+    "yonder", "zenith", "anchor", "breeze", "cobalt", "drift", "echo",
+    "flint", "grove", "haven", "isle", "jade", "koi", "lumen", "mist",
+)
+_NAME_SUFFIXES = (
+    "news", "mail", "shop", "blog", "wiki", "labs", "hub", "base", "zone",
+    "works", "press", "media", "forum", "cloud", "app", "soft", "tech",
+    "store", "市", "", "", "",
+)
+_BENIGN_TLDS = ("com", "net", "org", "cn", "com.cn", "edu", "io", "info", "co.uk")
+_THIRD_PARTY_KINDS = ("ads", "metrics", "track", "cdn", "static", "api", "pixel")
+
+# Operationally common TTL values. Benign and malicious hosting draw from
+# overlapping palettes: per the paper's section 8.2, malicious domains
+# have *raised* their TTLs while CDNs pushed benign TTLs down, so TTL
+# statistics no longer separate the classes cleanly.
+_TTL_PALETTES: dict[str, tuple[tuple[int, ...], tuple[float, ...]]] = {
+    "cdn": ((20, 30, 60, 120, 300), (0.15, 0.3, 0.3, 0.15, 0.1)),
+    "dedicated": (
+        (600, 1800, 3600, 7200, 14400, 43200, 86400),
+        (0.05, 0.1, 0.35, 0.2, 0.15, 0.1, 0.05),
+    ),
+    "shared": ((1800, 3600, 7200, 14400), (0.2, 0.45, 0.2, 0.15)),
+    "malicious": (
+        (120, 300, 600, 1800, 3600, 7200, 14400, 43200, 86400),
+        (0.06, 0.1, 0.12, 0.17, 0.25, 0.12, 0.1, 0.05, 0.03),
+    ),
+    "fastflux": ((30, 60, 120, 180, 300), (0.25, 0.3, 0.25, 0.1, 0.1)),
+}
+
+
+def sample_ttl(kind: str, rng: np.random.Generator) -> int:
+    """Draw a TTL from the operational palette for ``kind``."""
+    values, weights = _TTL_PALETTES[kind]
+    return int(values[int(rng.choice(len(values), p=np.asarray(weights)))])
+
+
+@dataclass(slots=True)
+class HostingAssignment:
+    """How a domain's hostnames resolve to IP addresses.
+
+    Exactly one of ``fixed_ips`` / ``pool`` is set. ``ttl`` is the TTL
+    stamped on answer records (CDN pools use low TTLs, dedicated hosting
+    uses high TTLs — the statistical signal Exposure's TTL features rely
+    on).
+    """
+
+    ttl: int
+    fixed_ips: list[str] = field(default_factory=list)
+    pool: RotatingPool | None = None
+
+    def resolve(self, timestamp: float, rng: np.random.Generator) -> str:
+        """One resolved address for a query at ``timestamp``."""
+        if self.pool is not None:
+            return self.pool.resolve(timestamp, rng)
+        return self.fixed_ips[int(rng.integers(len(self.fixed_ips)))]
+
+
+@dataclass(slots=True)
+class SiteProfile:
+    """A browsable benign web site."""
+
+    domain: str
+    popularity: float
+    hosting: HostingAssignment
+    embedded_domains: list[str] = field(default_factory=list)
+    # Subdomain labels under the e2LD that clients actually query.
+    hostnames: list[str] = field(default_factory=list)
+
+
+class BenignCatalog:
+    """The full benign domain population and its hosting structure.
+
+    Args:
+        config: Catalog composition knobs.
+        ipspace: Shared IP space used for all allocations.
+        rng: Source of randomness for catalog construction.
+    """
+
+    def __init__(
+        self,
+        config: BenignCatalogConfig,
+        ipspace: IpSpace,
+        rng: np.random.Generator,
+    ) -> None:
+        self._config = config
+        self._ipspace = ipspace
+        self._rng = rng
+        self._used_names: set[str] = set()
+
+        self.third_parties: list[SiteProfile] = []
+        self.popular_sites: list[SiteProfile] = []
+        self.longtail_sites: list[SiteProfile] = []
+        self.records: list[DomainRecord] = []
+        # Shared-hosting IPs kept for malicious co-tenancy injection.
+        self.shared_hosting_ips: list[str] = []
+
+        self.background_services: list[SiteProfile] = []
+
+        self._build_cdn_blocks()
+        self._build_third_parties()
+        self._build_popular_sites()
+        self._build_longtail_sites()
+        self._build_background_services()
+
+    # ------------------------------------------------------------------
+    # Name generation
+
+    # Fraction of benign names that are machine-generated (cloud tenant
+    # buckets, telemetry endpoints, URL-shortener style). Real traffic is
+    # full of these, and they are the honest reason lexical features alone
+    # cannot separate DGA output from benign names (paper section 8.2).
+    MACHINE_NAME_FRACTION = 0.15
+
+    def _machine_label(self) -> str:
+        """A random-looking but benign label (cloud/telemetry style)."""
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        length = int(self._rng.integers(6, 14))
+        chars = [alphabet[int(i)] for i in self._rng.integers(0, 36, size=length)]
+        label = "".join(chars)
+        prefix = ("d", "s3-", "cdn-", "t", "g", "")[int(self._rng.integers(6))]
+        return f"{prefix}{label}"
+
+    def _fresh_name(self, kind: str = "site") -> str:
+        """Generate a plausible, unused benign e2LD."""
+        for _ in range(10_000):
+            tld = _BENIGN_TLDS[int(self._rng.integers(len(_BENIGN_TLDS)))]
+            if self._rng.random() < self.MACHINE_NAME_FRACTION:
+                label = self._machine_label()
+            else:
+                stem = _NAME_STEMS[int(self._rng.integers(len(_NAME_STEMS)))]
+                suffix = _NAME_SUFFIXES[
+                    int(self._rng.integers(len(_NAME_SUFFIXES)))
+                ]
+                if suffix and not suffix.isascii():
+                    suffix = ""
+                if kind == "third_party":
+                    part = _THIRD_PARTY_KINDS[
+                        int(self._rng.integers(len(_THIRD_PARTY_KINDS)))
+                    ]
+                    label = f"{stem}{part}"
+                else:
+                    label = f"{stem}{suffix}"
+                if self._rng.random() < 0.25:
+                    label = f"{label}{int(self._rng.integers(1, 99))}"
+            name = f"{label}.{tld}"
+            if name not in self._used_names:
+                self._used_names.add(name)
+                return name
+        raise RuntimeError("benign name space exhausted; enlarge stems list")
+
+    # ------------------------------------------------------------------
+    # Catalog construction
+
+    def _build_cdn_blocks(self) -> None:
+        self._cdn_pools: list[RotatingPool] = []
+        for index in range(self._config.cdn_provider_count):
+            block = self._ipspace.new_block(f"cdn-{index}", size=2048)
+            addresses = block.allocate_many(96)
+            self._cdn_pools.append(
+                RotatingPool(
+                    addresses=addresses,
+                    rotation_period=6 * 3600.0,
+                    active_size=12,
+                    seed=int(self._rng.integers(1 << 31)),
+                )
+            )
+        self._shared_blocks = [
+            self._ipspace.new_block(f"shared-{index}", size=512)
+            for index in range(self._config.shared_hosting_provider_count)
+        ]
+        self._dedicated_block = self._ipspace.new_block("dedicated", size=60_000)
+        # Shared-hosting providers differ in density: most are small
+        # resellers with one or two addresses, a few are large. Sites are
+        # assigned to providers with Zipf-skewed popularity, so benign
+        # co-tenancy (domains per IP) spans a broad continuous range —
+        # from a handful to over a hundred — fully covering the counts
+        # malicious campaigns exhibit. This is the benign confounder that
+        # keeps "number of domains sharing my IP" from being a clean
+        # statistical separator, while leaving IP-*set* similarity intact.
+        self._shared_ips_per_block = [
+            block.allocate_many(int(self._rng.integers(1, 3)))
+            for block in self._shared_blocks
+        ]
+        provider_ranks = np.arange(1, len(self._shared_blocks) + 1, dtype=float)
+        provider_weights = provider_ranks ** (-0.5)
+        self._rng.shuffle(provider_weights)
+        self._shared_provider_weights = provider_weights / provider_weights.sum()
+        for ips in self._shared_ips_per_block:
+            self.shared_hosting_ips.extend(ips)
+
+    def _dedicated_hosting(self, ip_count: int, ttl: int) -> HostingAssignment:
+        return HostingAssignment(
+            ttl=ttl, fixed_ips=self._dedicated_block.allocate_many(ip_count)
+        )
+
+    def _shared_hosting(self, ttl: int | None = None) -> HostingAssignment:
+        if ttl is None:
+            ttl = sample_ttl("shared", self._rng)
+        block_index = int(
+            self._rng.choice(
+                len(self._shared_ips_per_block), p=self._shared_provider_weights
+            )
+        )
+        ips = self._shared_ips_per_block[block_index]
+        count = min(int(self._rng.integers(1, 3)), len(ips))
+        picks = self._rng.choice(len(ips), size=count, replace=False)
+        return HostingAssignment(ttl=ttl, fixed_ips=[ips[int(i)] for i in picks])
+
+    def _cdn_hosting(self, ttl: int = 60) -> HostingAssignment:
+        pool = self._cdn_pools[int(self._rng.integers(len(self._cdn_pools)))]
+        return HostingAssignment(ttl=ttl, pool=pool)
+
+    def _build_third_parties(self) -> None:
+        """Ad/analytics/CDN domains embedded into many sites' pages."""
+        for _ in range(self._config.third_party_count):
+            name = self._fresh_name("third_party")
+            on_cdn = self._rng.random() < 0.6
+            hosting = (
+                self._cdn_hosting(ttl=sample_ttl("cdn", self._rng))
+                if on_cdn
+                else self._dedicated_hosting(
+                    ip_count=int(self._rng.integers(2, 6)),
+                    ttl=sample_ttl("dedicated", self._rng),
+                )
+            )
+            profile = SiteProfile(
+                domain=name,
+                popularity=float(self._rng.uniform(0.5, 1.0)),
+                hosting=hosting,
+                hostnames=self._hostnames_for(name, 2),
+            )
+            self.third_parties.append(profile)
+            self.records.append(
+                DomainRecord(
+                    name=name,
+                    category=(
+                        DomainCategory.CDN if on_cdn else DomainCategory.THIRD_PARTY
+                    ),
+                    family=f"thirdparty",
+                    registration_age_days=float(self._rng.uniform(800, 5000)),
+                )
+            )
+
+    def _hostnames_for(self, e2ld: str, count: int) -> list[str]:
+        labels = ("www", "api", "static", "img", "m", "mail", "cdn", "news")
+        picks = self._rng.choice(
+            len(labels), size=min(count, len(labels)), replace=False
+        )
+        return [f"{labels[int(i)]}.{e2ld}" for i in picks] + [e2ld]
+
+    def _embedded_for_page(self) -> list[str]:
+        """Third-party e2LDs a popular page pulls in when rendered."""
+        mean = self._config.embedded_per_page
+        count = min(
+            len(self.third_parties), max(1, int(self._rng.poisson(mean)))
+        )
+        weights = np.array([tp.popularity for tp in self.third_parties])
+        weights = weights / weights.sum()
+        picks = self._rng.choice(
+            len(self.third_parties), size=count, replace=False, p=weights
+        )
+        return [self.third_parties[int(i)].domain for i in picks]
+
+    def _build_popular_sites(self) -> None:
+        count = self._config.popular_site_count
+        ranks = np.arange(1, count + 1, dtype=float)
+        weights = ranks ** (-self._config.zipf_exponent)
+        weights /= weights.sum()
+        # The popular head carries the bulk of campus traffic: scale its
+        # mass so it outweighs the long tail roughly 70/30 (longtail sites
+        # average ~0.105 popularity each, see _build_longtail_sites).
+        expected_longtail_mass = 0.105 * self._config.longtail_site_count
+        weights = weights * max(1.2 * expected_longtail_mass, 1.0)
+        for index in range(count):
+            name = self._fresh_name()
+            on_cdn = self._rng.random() < 0.5
+            hosting = (
+                self._cdn_hosting(ttl=sample_ttl("cdn", self._rng))
+                if on_cdn
+                else self._dedicated_hosting(
+                    ip_count=int(self._rng.integers(2, 8)),
+                    ttl=sample_ttl("dedicated", self._rng),
+                )
+            )
+            self.popular_sites.append(
+                SiteProfile(
+                    domain=name,
+                    popularity=float(weights[index]),
+                    hosting=hosting,
+                    embedded_domains=self._embedded_for_page(),
+                    hostnames=self._hostnames_for(name, 3),
+                )
+            )
+            self.records.append(
+                DomainRecord(
+                    name=name,
+                    category=DomainCategory.POPULAR_SITE,
+                    family="popular",
+                    registration_age_days=float(self._rng.uniform(1500, 8000)),
+                )
+            )
+
+    def _build_longtail_sites(self) -> None:
+        for _ in range(self._config.longtail_site_count):
+            name = self._fresh_name()
+            on_shared = self._rng.random() < self._config.shared_hosting_fraction
+            hosting = (
+                self._shared_hosting()
+                if on_shared
+                else self._dedicated_hosting(
+                    ip_count=1, ttl=sample_ttl("dedicated", self._rng)
+                )
+            )
+            embedded: list[str] = []
+            if self.third_parties and self._rng.random() < 0.5:
+                # Small sites embed one or two common third parties.
+                tp_count = int(self._rng.integers(1, 3))
+                picks = self._rng.choice(
+                    len(self.third_parties),
+                    size=min(tp_count, len(self.third_parties)),
+                    replace=False,
+                )
+                embedded = [self.third_parties[int(i)].domain for i in picks]
+            self.longtail_sites.append(
+                SiteProfile(
+                    domain=name,
+                    popularity=float(self._rng.uniform(0.01, 0.2)),
+                    hosting=hosting,
+                    embedded_domains=embedded,
+                    hostnames=self._hostnames_for(name, 1),
+                )
+            )
+            self.records.append(
+                DomainRecord(
+                    name=name,
+                    category=DomainCategory.LONGTAIL_SITE,
+                    family="longtail",
+                    registration_age_days=float(self._rng.uniform(60, 4000)),
+                )
+            )
+
+    def _build_background_services(self) -> None:
+        """Benign always-on service endpoints (updates, sync, telemetry).
+
+        Hosts poll these periodically in the background, so their DNS
+        footprint — steady daily volume, flat hour profile, activity on
+        every day of the capture — mirrors C&C beaconing. They are the
+        honest benign twin that keeps time-based statistics from cleanly
+        separating the classes (paper section 8.2).
+        """
+        service_words = ("update", "sync", "push", "telemetry", "api",
+                         "status", "time", "feed", "notify", "client")
+        for index in range(self._config.background_service_count):
+            word = service_words[index % len(service_words)]
+            name = self._fresh_name()
+            label, tld = name.split(".", 1)
+            name = f"{label}{word}.{tld}"
+            if name in self._used_names:
+                name = f"{label}{word}{index}.{tld}"
+            self._used_names.add(name)
+            on_cdn = self._rng.random() < 0.4
+            hosting = (
+                self._cdn_hosting(ttl=sample_ttl("cdn", self._rng))
+                if on_cdn
+                else self._dedicated_hosting(
+                    ip_count=int(self._rng.integers(1, 4)),
+                    ttl=sample_ttl("dedicated", self._rng),
+                )
+            )
+            self.background_services.append(
+                SiteProfile(
+                    domain=name,
+                    popularity=0.0,  # never browsed, only polled
+                    hosting=hosting,
+                    hostnames=[f"api.{name}", name],
+                )
+            )
+            self.records.append(
+                DomainRecord(
+                    name=name,
+                    category=DomainCategory.INFRASTRUCTURE,
+                    family="background-service",
+                    registration_age_days=float(self._rng.uniform(700, 4000)),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Sampling helpers used by the browsing model
+
+    @property
+    def all_sites(self) -> list[SiteProfile]:
+        return self.popular_sites + self.longtail_sites
+
+    def site_weights(self) -> np.ndarray:
+        """Normalized popularity weights over :attr:`all_sites`."""
+        weights = np.array([s.popularity for s in self.all_sites], dtype=float)
+        return weights / weights.sum()
+
+    def profile_by_domain(self) -> dict[str, SiteProfile]:
+        """Index of every catalog profile (sites + third parties) by e2LD."""
+        index: dict[str, SiteProfile] = {}
+        for profile in self.all_sites + self.third_parties:
+            index[profile.domain] = profile
+        return index

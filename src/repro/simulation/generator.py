@@ -1,0 +1,460 @@
+"""End-to-end trace generation.
+
+:class:`TraceGenerator` assembles the host population, benign catalog,
+browsing model, and malware landscape, then renders every query intent
+into interleaved :class:`~repro.dns.types.DnsQuery` /
+:class:`~repro.dns.types.DnsResponse` records plus a DHCP log and ground
+truth — the same artifacts the paper's collection pipeline produces
+(section 2).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.dns.dhcp import DhcpLog
+from repro.dns.logfmt import DnsTraceWriter
+from repro.dns.types import (
+    DnsQuery,
+    DnsResponse,
+    QueryType,
+    ResourceRecord,
+    TraceMetadata,
+)
+from repro.simulation.config import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_MINUTE,
+    SimulationConfig,
+)
+from repro.simulation.diurnal import DiurnalModel, sample_diurnal_times
+from repro.simulation.domains import BenignCatalog, HostingAssignment
+from repro.simulation.groundtruth import (
+    DomainCategory,
+    DomainRecord,
+    GroundTruth,
+)
+from repro.simulation.hosts import Host, HostPopulation
+from repro.simulation.ipspace import IpSpace
+from repro.simulation.malware import MalwareLandscape, QueryEvent
+from repro.simulation.web import BrowsingModel
+
+
+@dataclass(slots=True)
+class SimulatedTrace:
+    """Everything one simulation run produces."""
+
+    queries: list[DnsQuery]
+    responses: list[DnsResponse]
+    dhcp: DhcpLog
+    ground_truth: GroundTruth
+    metadata: TraceMetadata
+    config: SimulationConfig
+    # Malware families, exposed for experiment scoring (never used by the
+    # detection pipeline itself).
+    families: dict[str, list[str]] = field(default_factory=dict)
+
+    def save(self, directory: str | Path) -> None:
+        """Write dns.log / dhcp.log / groundtruth.tsv under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with DnsTraceWriter(directory / "dns.log") as writer:
+            merged: list[DnsQuery | DnsResponse] = [*self.queries, *self.responses]
+            merged.sort(key=lambda record: record.timestamp)
+            writer.write_all(merged)
+        self.dhcp.save(directory / "dhcp.log")
+        self.ground_truth.save(directory / "groundtruth.tsv")
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+
+class _LeaseIndex:
+    """Bisect-backed (host, timestamp) -> campus IP lookup."""
+
+    def __init__(self, hosts: list[Host]) -> None:
+        self._starts: dict[int, list[float]] = {}
+        self._leases: dict[int, list[tuple[str, float, float]]] = {}
+        for host in hosts:
+            leases = sorted(host.leases, key=lambda lease: lease[1])
+            self._leases[host.index] = leases
+            self._starts[host.index] = [lease[1] for lease in leases]
+
+    def ip_at(self, host: Host, timestamp: float) -> str:
+        starts = self._starts[host.index]
+        position = bisect.bisect_right(starts, timestamp) - 1
+        if position < 0:
+            position = 0
+        ip, __, __ = self._leases[host.index][position]
+        return ip
+
+
+# IoT vendor service domains polled around the clock.
+_IOT_VENDORS = (
+    ("sensorpulse.com", 3),
+    ("thingrelay.net", 2),
+    ("meterlink.io", 2),
+)
+
+
+class TraceGenerator:
+    """Generates a full simulated campus DNS capture.
+
+    Args:
+        config: Simulation knobs; validated on construction.
+
+    Usage::
+
+        trace = TraceGenerator(SimulationConfig(seed=7)).generate()
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        self.config = config
+
+    def generate(self) -> SimulatedTrace:
+        """Run the simulation and return the complete trace."""
+        rng = np.random.default_rng(self.config.seed)
+        duration = self.config.duration_seconds
+
+        ipspace = IpSpace()
+        catalog = BenignCatalog(self.config.benign, ipspace, rng)
+        population = HostPopulation(self.config.hosts, duration, rng)
+        browsing = BrowsingModel(catalog, rng)
+        malware_rng = (
+            np.random.default_rng(self.config.malware_seed)
+            if self.config.malware_seed is not None
+            else rng
+        )
+        landscape = MalwareLandscape(
+            config=self.config.malware,
+            ipspace=ipspace,
+            population=population,
+            duration=duration,
+            shared_hosting_ips=catalog.shared_hosting_ips,
+            rng=malware_rng,
+        )
+
+        events: list[QueryEvent] = []
+        session_times = self._browsing_events(
+            population, browsing, duration, rng, events
+        )
+        self._flash_crowd_events(population, browsing, catalog, duration, rng, events)
+        self._background_service_events(population, catalog, duration, rng, events)
+        iot_records, iot_hosting = self._iot_events(
+            population, ipspace, duration, rng, events
+        )
+        events.extend(landscape.all_events)
+        events.extend(
+            landscape.accidental_contact_events(session_times, population.hosts)
+        )
+        events.sort(key=lambda event: event.timestamp)
+
+        hosting_map = self._merge_hosting(catalog, browsing, landscape, iot_hosting)
+        ground_truth = self._merge_ground_truth(
+            catalog, browsing, landscape, iot_records
+        )
+
+        queries, responses = self._render(events, hosting_map, population, rng)
+        metadata = TraceMetadata(
+            start_time=0.0,
+            duration=duration,
+            host_count=len(population.hosts),
+            description=(
+                f"simulated campus capture: {len(population.hosts)} hosts, "
+                f"{self.config.duration_days:g} days, "
+                f"{len(ground_truth)} e2LDs "
+                f"({len(ground_truth.malicious_domains)} malicious)"
+            ),
+        )
+        return SimulatedTrace(
+            queries=queries,
+            responses=responses,
+            dhcp=population.dhcp_log(),
+            ground_truth=ground_truth,
+            metadata=metadata,
+            config=self.config,
+            families={
+                family.name: list(family.domains) for family in landscape.families
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _browsing_events(
+        self,
+        population: HostPopulation,
+        browsing: BrowsingModel,
+        duration: float,
+        rng: np.random.Generator,
+        events: list[QueryEvent],
+    ) -> dict[int, np.ndarray]:
+        """Append all benign browsing lookups; returns session times/host."""
+        session_times: dict[int, np.ndarray] = {}
+        for host in population.interactive_hosts:
+            times = sample_diurnal_times(
+                host.device_class,
+                duration,
+                self.config.hosts.sessions_per_day,
+                rng,
+            )
+            session_times[host.index] = times
+            sites = browsing.pick_sites(len(times))
+            for start, site in zip(times, sites):
+                for lookup in browsing.session_lookups(site):
+                    events.append(
+                        QueryEvent(
+                            timestamp=float(start + lookup.delay),
+                            host=host,
+                            qname=lookup.qname,
+                            e2ld=lookup.e2ld,
+                        )
+                    )
+        return session_times
+
+    def _flash_crowd_events(
+        self,
+        population: HostPopulation,
+        browsing: BrowsingModel,
+        catalog: BenignCatalog,
+        duration: float,
+        rng: np.random.Generator,
+        events: list[QueryEvent],
+    ) -> None:
+        """Benign burst days: a long-tail site briefly goes viral.
+
+        A link shared in a campus forum or group chat gives an obscure
+        site a one-or-two-day burst of visits from many hosts. These
+        bursts are the benign counterpart of campaign traffic: without
+        them, "burstiness" and "active days" statistics separate classes
+        far more cleanly than they do in real traffic.
+        """
+        if not catalog.longtail_sites:
+            return
+        interactive = population.interactive_hosts
+        crowd_count = max(1, int(len(catalog.longtail_sites) * 0.08))
+        site_picks = rng.choice(
+            len(catalog.longtail_sites), size=crowd_count, replace=False
+        )
+        day_count = max(int(duration // SECONDS_PER_DAY), 1)
+        for pick in site_picks:
+            site = catalog.longtail_sites[int(pick)]
+            burst_day = int(rng.integers(day_count))
+            audience_fraction = float(rng.uniform(0.1, 0.4))
+            audience_size = max(2, int(len(interactive) * audience_fraction))
+            audience = rng.choice(
+                len(interactive), size=audience_size, replace=False
+            )
+            for host_pick in audience:
+                host = interactive[int(host_pick)]
+                # Visits concentrate in waking hours of the burst day.
+                visit = burst_day * SECONDS_PER_DAY + float(
+                    rng.uniform(8, 23)
+                ) * 3600.0
+                if visit >= duration:
+                    continue
+                for lookup in browsing.session_lookups(site):
+                    events.append(
+                        QueryEvent(
+                            timestamp=visit + lookup.delay,
+                            host=host,
+                            qname=lookup.qname,
+                            e2ld=lookup.e2ld,
+                        )
+                    )
+
+    def _background_service_events(
+        self,
+        population: HostPopulation,
+        catalog: BenignCatalog,
+        duration: float,
+        rng: np.random.Generator,
+        events: list[QueryEvent],
+    ) -> None:
+        """Periodic polls to subscribed benign services (while awake)."""
+        services = catalog.background_services
+        if not services or self.config.benign.services_per_host == 0:
+            return
+        models = {
+            cls: DiurnalModel(cls) for cls in ("desktop", "laptop", "phone")
+        }
+        for host in population.interactive_hosts:
+            count = min(
+                len(services),
+                max(1, int(rng.poisson(self.config.benign.services_per_host))),
+            )
+            picks = rng.choice(len(services), size=count, replace=False)
+            for pick in picks:
+                service = services[int(pick)]
+                interval = float(rng.uniform(30, 240)) * SECONDS_PER_MINUTE
+                times = np.arange(
+                    float(rng.uniform(0, interval)), duration, interval
+                )
+                times = times + rng.uniform(-0.1, 0.1, size=times.size) * interval
+                times = times[(times >= 0) & (times < duration)]
+                levels = models[host.device_class].relative_levels(times)
+                times = times[rng.uniform(size=times.size) < levels]
+                qname = service.hostnames[0]
+                for timestamp in times:
+                    events.append(
+                        QueryEvent(
+                            timestamp=float(timestamp),
+                            host=host,
+                            qname=qname,
+                            e2ld=service.domain,
+                        )
+                    )
+
+    def _iot_events(
+        self,
+        population: HostPopulation,
+        ipspace: IpSpace,
+        duration: float,
+        rng: np.random.Generator,
+        events: list[QueryEvent],
+    ) -> tuple[list[DomainRecord], dict[str, HostingAssignment]]:
+        """IoT devices poll their vendor's service domains day and night."""
+        block = ipspace.new_block("iot-vendors", size=256)
+        records: list[DomainRecord] = []
+        hosting: dict[str, HostingAssignment] = {}
+        for vendor, ip_count in _IOT_VENDORS:
+            hosting[vendor] = HostingAssignment(
+                ttl=600, fixed_ips=block.allocate_many(ip_count)
+            )
+            records.append(
+                DomainRecord(
+                    name=vendor,
+                    category=DomainCategory.INFRASTRUCTURE,
+                    family="iot-vendor",
+                    registration_age_days=2500.0,
+                )
+            )
+        vendor_names = [vendor for vendor, __ in _IOT_VENDORS]
+        for host in population.iot_hosts:
+            vendor = vendor_names[host.index % len(vendor_names)]
+            poll_interval = float(rng.uniform(5, 30)) * SECONDS_PER_MINUTE
+            clock = float(rng.uniform(0, poll_interval))
+            while clock < duration:
+                events.append(
+                    QueryEvent(
+                        timestamp=clock,
+                        host=host,
+                        qname=f"api.{vendor}",
+                        e2ld=vendor,
+                    )
+                )
+                clock += poll_interval * float(rng.uniform(0.9, 1.1))
+        return records, hosting
+
+    @staticmethod
+    def _merge_hosting(
+        catalog: BenignCatalog,
+        browsing: BrowsingModel,
+        landscape: MalwareLandscape,
+        iot_hosting: dict[str, HostingAssignment],
+    ) -> dict[str, HostingAssignment | None]:
+        merged: dict[str, HostingAssignment | None] = {}
+        for profile in (
+            catalog.all_sites + catalog.third_parties + catalog.background_services
+        ):
+            merged[profile.domain] = profile.hosting
+        merged.update(browsing.redirector_hosting)
+        merged.update(iot_hosting)
+        merged.update(landscape.hosting_map())
+        return merged
+
+    @staticmethod
+    def _merge_ground_truth(
+        catalog: BenignCatalog,
+        browsing: BrowsingModel,
+        landscape: MalwareLandscape,
+        iot_records: list[DomainRecord],
+    ) -> GroundTruth:
+        truth = GroundTruth()
+        for record in (
+            catalog.records
+            + browsing.redirector_records
+            + iot_records
+            + landscape.all_records
+        ):
+            if record.name not in truth:
+                truth.add(record)
+        return truth
+
+    def _render(
+        self,
+        events: list[QueryEvent],
+        hosting_map: dict[str, HostingAssignment | None],
+        population: HostPopulation,
+        rng: np.random.Generator,
+    ) -> tuple[list[DnsQuery], list[DnsResponse]]:
+        """Turn query intents into interleaved query/response records."""
+        lease_index = _LeaseIndex(population.hosts)
+        count = len(events)
+        txids = rng.integers(0, 1 << 16, size=count)
+        delays = rng.uniform(0.002, 0.060, size=count)
+        queries: list[DnsQuery] = []
+        responses: list[DnsResponse] = []
+        duration = self.config.duration_seconds
+        for position, event in enumerate(events):
+            timestamp = min(event.timestamp, duration - 0.001)
+            source_ip = lease_index.ip_at(event.host, timestamp)
+            txid = int(txids[position])
+            queries.append(
+                DnsQuery(
+                    timestamp=timestamp,
+                    txid=txid,
+                    source_ip=source_ip,
+                    qname=event.qname,
+                    qtype=QueryType.A,
+                )
+            )
+            hosting = hosting_map.get(event.e2ld)
+            response_time = timestamp + float(delays[position])
+            if hosting is None:
+                responses.append(
+                    DnsResponse(
+                        timestamp=response_time,
+                        txid=txid,
+                        destination_ip=source_ip,
+                        qname=event.qname,
+                        nxdomain=True,
+                    )
+                )
+                continue
+            answers = self._answers_for(hosting, timestamp, rng)
+            responses.append(
+                DnsResponse(
+                    timestamp=response_time,
+                    txid=txid,
+                    destination_ip=source_ip,
+                    qname=event.qname,
+                    answers=answers,
+                )
+            )
+        return queries, responses
+
+    @staticmethod
+    def _answers_for(
+        hosting: HostingAssignment,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> tuple[ResourceRecord, ...]:
+        """Build the answer section for one resolution."""
+        if hosting.pool is not None:
+            active = hosting.pool.addresses_at(timestamp)
+            size = min(len(active), int(rng.integers(1, 4)))
+            picks = rng.choice(len(active), size=size, replace=False)
+            ips = [active[int(i)] for i in picks]
+        else:
+            size = min(len(hosting.fixed_ips), int(rng.integers(1, 4)))
+            picks = rng.choice(len(hosting.fixed_ips), size=size, replace=False)
+            ips = [hosting.fixed_ips[int(i)] for i in picks]
+        return tuple(
+            ResourceRecord(rtype=QueryType.A, value=ip, ttl=hosting.ttl)
+            for ip in ips
+        )

@@ -1,0 +1,146 @@
+"""Ground-truth bookkeeping for simulated traces.
+
+Every e2LD the simulator creates gets a :class:`DomainRecord` describing
+what it *really* is. Ground truth is the basis for the simulated label
+feeds (:mod:`repro.labels`) and for scoring experiments, but the detection
+pipeline itself never sees it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+class DomainCategory(enum.Enum):
+    """Fine-grained category of a simulated domain."""
+
+    POPULAR_SITE = "popular_site"
+    LONGTAIL_SITE = "longtail_site"
+    THIRD_PARTY = "third_party"
+    CDN = "cdn"
+    INFRASTRUCTURE = "infrastructure"
+    DGA = "dga"
+    CNC = "cnc"
+    SPAM = "spam"
+    PHISHING = "phishing"
+    FASTFLUX = "fastflux"
+
+    @property
+    def is_malicious(self) -> bool:
+        return self in _MALICIOUS_CATEGORIES
+
+
+_MALICIOUS_CATEGORIES = frozenset(
+    {
+        DomainCategory.DGA,
+        DomainCategory.CNC,
+        DomainCategory.SPAM,
+        DomainCategory.PHISHING,
+        DomainCategory.FASTFLUX,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DomainRecord:
+    """Ground truth for one e2LD.
+
+    Attributes:
+        name: The e2LD.
+        category: What the domain actually is.
+        family: Malware family / campaign / provider identifier, used to
+            score cluster purity and to annotate ThreatBook-style reports.
+        registration_age_days: Simulated age at trace start; young ages are
+            typical of DGA and campaign domains (feeds VirusTotal realism).
+    """
+
+    name: str
+    category: DomainCategory
+    family: str = ""
+    registration_age_days: float = 365.0
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.category.is_malicious
+
+
+class GroundTruth:
+    """Mapping from e2LD to its :class:`DomainRecord`."""
+
+    def __init__(self, records: Iterable[DomainRecord] = ()) -> None:
+        self._records: dict[str, DomainRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: DomainRecord) -> None:
+        if record.name in self._records:
+            raise ValueError(f"duplicate ground-truth record for {record.name}")
+        self._records[record.name] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __iter__(self) -> Iterator[DomainRecord]:
+        return iter(self._records.values())
+
+    def get(self, name: str) -> DomainRecord | None:
+        return self._records.get(name)
+
+    def record(self, name: str) -> DomainRecord:
+        """Like :meth:`get` but raises KeyError for unknown domains."""
+        return self._records[name]
+
+    def is_malicious(self, name: str) -> bool:
+        """Whether ``name`` is malicious; unknown names count as benign."""
+        record = self._records.get(name)
+        return record.is_malicious if record is not None else False
+
+    @property
+    def malicious_domains(self) -> list[str]:
+        return [r.name for r in self._records.values() if r.is_malicious]
+
+    @property
+    def benign_domains(self) -> list[str]:
+        return [r.name for r in self._records.values() if not r.is_malicious]
+
+    def family_members(self, family: str) -> list[str]:
+        """All domains belonging to one family/campaign."""
+        return [r.name for r in self._records.values() if r.family == family]
+
+    @property
+    def families(self) -> set[str]:
+        return {r.family for r in self._records.values() if r.family}
+
+    def save(self, path: str | Path) -> None:
+        """Persist as a tab-separated file."""
+        with open(path, "w", encoding="utf-8") as stream:
+            for record in self._records.values():
+                stream.write(
+                    f"{record.name}\t{record.category.value}\t"
+                    f"{record.family}\t{record.registration_age_days:.1f}\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GroundTruth":
+        truth = cls()
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                name, category, family, age = line.split("\t")
+                truth.add(
+                    DomainRecord(
+                        name=name,
+                        category=DomainCategory(category),
+                        family=family,
+                        registration_age_days=float(age),
+                    )
+                )
+        return truth

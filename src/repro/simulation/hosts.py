@@ -1,0 +1,161 @@
+"""Host population and DHCP lease churn.
+
+Each simulated device has a stable MAC address (its true identity) and a
+sequence of DHCP leases binding it to campus IPs over time. Phones roam
+and re-lease more often than desktops; servers/IoT keep near-static
+bindings. The generated :class:`~repro.dns.dhcp.DhcpLog` lets the pipeline
+recover device identity from (ip, timestamp) exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dns.dhcp import DhcpLog
+from repro.dns.types import DhcpLease
+from repro.simulation.config import HostPopulationConfig
+
+_DEVICE_CLASSES = ("desktop", "laptop", "phone", "iot")
+# Relative lease churn per class (multiplier on the configured mean).
+_CHURN = {"desktop": 4.0, "laptop": 1.5, "phone": 0.6, "iot": 8.0}
+
+
+@dataclass(slots=True)
+class Host:
+    """One campus device."""
+
+    index: int
+    mac: str
+    device_class: str
+    # Leases as (ip, start, end), in time order.
+    leases: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def ip_at(self, timestamp: float) -> str | None:
+        """The host's campus IP at ``timestamp`` (None if between leases)."""
+        for ip, start, end in self.leases:
+            if start <= timestamp < end:
+                return ip
+        return None
+
+    @property
+    def is_interactive(self) -> bool:
+        """Whether the device browses the web (IoT devices do not)."""
+        return self.device_class != "iot"
+
+
+def _mac_for(index: int) -> str:
+    return "02:00:%02x:%02x:%02x:%02x" % (
+        (index >> 24) & 0xFF,
+        (index >> 16) & 0xFF,
+        (index >> 8) & 0xFF,
+        index & 0xFF,
+    )
+
+
+class HostPopulation:
+    """Builds hosts, assigns device classes, and simulates DHCP churn.
+
+    The campus address pool is larger than the host count so re-leases
+    usually land on a fresh IP, forcing the pipeline to use DHCP for
+    identity (as in the paper).
+    """
+
+    def __init__(
+        self,
+        config: HostPopulationConfig,
+        duration: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self._config = config
+        self._duration = duration
+        self._rng = rng
+        self.hosts: list[Host] = []
+        self._build_hosts()
+        self._simulate_leases()
+
+    def _build_hosts(self) -> None:
+        fractions = np.array(
+            [
+                self._config.desktop_fraction,
+                self._config.laptop_fraction,
+                self._config.phone_fraction,
+                self._config.iot_fraction,
+            ]
+        )
+        counts = np.floor(fractions * self._config.host_count).astype(int)
+        # Distribute rounding remainder to the largest classes.
+        while counts.sum() < self._config.host_count:
+            counts[int(np.argmax(fractions))] += 1
+            fractions[int(np.argmax(fractions))] *= 0.999
+        index = 0
+        for class_index, device_class in enumerate(_DEVICE_CLASSES):
+            for _ in range(int(counts[class_index])):
+                self.hosts.append(
+                    Host(index=index, mac=_mac_for(index), device_class=device_class)
+                )
+                index += 1
+
+    def _simulate_leases(self) -> None:
+        # Time-aware free list: an IP may be re-leased to another device,
+        # but never while a previous lease on it is still active (otherwise
+        # DHCP-based identity resolution would be ambiguous).
+        available: list[tuple[float, int, str]] = []  # (free_at, tiebreak, ip)
+        allocated = 0
+        tiebreak = 0
+
+        def fresh_ip() -> str:
+            nonlocal allocated
+            ip = f"10.20.{allocated // 254}.{allocated % 254 + 1}"
+            allocated += 1
+            return ip
+
+        def take_ip(start: float, end: float) -> str:
+            nonlocal tiebreak
+            if available and available[0][0] <= start:
+                __, __, ip = heapq.heappop(available)
+            else:
+                ip = fresh_ip()
+            tiebreak += 1
+            heapq.heappush(available, (end, tiebreak, ip))
+            return ip
+
+        mean_lease = self._config.lease_hours * 3600.0
+        for host in self.hosts:
+            churn = _CHURN[host.device_class]
+            clock = 0.0
+            while clock < self._duration:
+                length = float(
+                    self._rng.exponential(mean_lease * churn)
+                )
+                length = max(900.0, length)  # DHCP minimum lease
+                end = min(clock + length, self._duration)
+                host.leases.append((take_ip(clock, end), clock, end))
+                clock = end
+
+    def dhcp_log(self) -> DhcpLog:
+        """All leases as a :class:`DhcpLog`."""
+        log = DhcpLog()
+        for host in self.hosts:
+            for ip, start, end in host.leases:
+                log.add(DhcpLease(mac=host.mac, ip=ip, start=start, end=end))
+        return log
+
+    @property
+    def interactive_hosts(self) -> list[Host]:
+        return [h for h in self.hosts if h.is_interactive]
+
+    @property
+    def iot_hosts(self) -> list[Host]:
+        return [h for h in self.hosts if not h.is_interactive]
+
+    def sample_hosts(
+        self, count: int, rng: np.random.Generator, interactive_only: bool = True
+    ) -> list[Host]:
+        """Sample ``count`` distinct hosts (for malware infections)."""
+        pool = self.interactive_hosts if interactive_only else self.hosts
+        count = min(count, len(pool))
+        picks = rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in picks]

@@ -1,0 +1,129 @@
+"""IP address space allocation for the simulated Internet.
+
+Three allocation regimes drive the domain-IP bipartite graph's structure:
+
+* **dedicated** — one or a few addresses per domain, drawn from a
+  provider block (typical for popular sites' origin servers);
+* **shared hosting** — many domains packed onto a handful of addresses
+  inside one provider block (the benign confounder for the IP view);
+* **pool rotation** — a domain resolves to addresses drawn from a pool
+  over time (CDNs for benign traffic; fast-flux for malicious traffic —
+  structurally similar, which is exactly why the paper needs more than the
+  IP view alone).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _format_ipv4(value: int) -> str:
+    return str(ipaddress.IPv4Address(value))
+
+
+@dataclass(slots=True)
+class ProviderBlock:
+    """A contiguous IPv4 block owned by one (simulated) provider."""
+
+    name: str
+    base: int
+    size: int
+    _next_offset: int = field(default=0, repr=False)
+
+    def allocate(self) -> str:
+        """Hand out the next unused address in the block."""
+        if self._next_offset >= self.size:
+            raise RuntimeError(f"provider block {self.name} exhausted")
+        address = _format_ipv4(self.base + self._next_offset)
+        self._next_offset += 1
+        return address
+
+    def allocate_many(self, count: int) -> list[str]:
+        return [self.allocate() for _ in range(count)]
+
+
+class IpSpace:
+    """Carves the simulated external IPv4 space into provider blocks.
+
+    Blocks are carved from 93.0.0.0 upward in /16 strides so addresses
+    from different providers never collide. The campus-internal subnet
+    (10.20.0.0/16) is managed separately by the DHCP simulator.
+    """
+
+    CAMPUS_PREFIX = "10.20"
+    _EXTERNAL_BASE = int(ipaddress.IPv4Address("93.0.0.0"))
+    _BLOCK_STRIDE = 1 << 16
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, ProviderBlock] = {}
+        self._next_block_index = 0
+
+    def new_block(self, name: str, size: int = 4096) -> ProviderBlock:
+        """Create a fresh provider block with a unique address range."""
+        if name in self._blocks:
+            raise ValueError(f"provider block {name!r} already exists")
+        base = self._EXTERNAL_BASE + self._next_block_index * self._BLOCK_STRIDE
+        self._next_block_index += 1
+        block = ProviderBlock(name=name, base=base, size=size)
+        self._blocks[name] = block
+        return block
+
+    def block(self, name: str) -> ProviderBlock:
+        return self._blocks[name]
+
+    @property
+    def block_names(self) -> list[str]:
+        return list(self._blocks)
+
+    def campus_ip(self, host_index: int) -> str:
+        """A stable campus address for host ``host_index`` (pre-DHCP)."""
+        low = host_index % 254 + 1
+        high = host_index // 254
+        return f"{self.CAMPUS_PREFIX}.{high}.{low}"
+
+
+@dataclass(slots=True)
+class RotatingPool:
+    """An address pool a domain rotates through over time (CDN/fast-flux).
+
+    ``addresses_at`` returns the subset of the pool active in a given
+    rotation period, so repeated resolutions inside one period are stable
+    while successive periods drift — matching both CDN map updates and
+    fast-flux behavior (the knob that differs is the period length).
+    """
+
+    addresses: list[str]
+    rotation_period: float
+    active_size: int
+    seed: int = 0
+    _cache: dict[int, list[str]] = field(default_factory=dict, repr=False)
+
+    def addresses_at(self, timestamp: float) -> list[str]:
+        """The active addresses during the rotation period of ``timestamp``.
+
+        Results are memoized per rotation period: resolutions are far more
+        frequent than rotations, and the active set must be stable within
+        a period anyway.
+        """
+        if not self.addresses:
+            return []
+        period_index = int(timestamp // self.rotation_period)
+        cached = self._cache.get(period_index)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng((self.seed, period_index))
+        size = min(self.active_size, len(self.addresses))
+        picks = rng.choice(len(self.addresses), size=size, replace=False)
+        active = [self.addresses[int(i)] for i in picks]
+        if len(self._cache) > 65536:
+            self._cache.clear()
+        self._cache[period_index] = active
+        return active
+
+    def resolve(self, timestamp: float, rng: np.random.Generator) -> str:
+        """One address for a resolution happening at ``timestamp``."""
+        active = self.addresses_at(timestamp)
+        return active[int(rng.integers(len(active)))]

@@ -1,0 +1,134 @@
+"""Web browsing model: sessions, page loads, and redirect chains.
+
+A browsing session resolves the visited site's hostname, then — once the
+page renders — the third-party domains embedded in it (ads, analytics,
+CDNs), exactly the mechanism the paper cites as the source of benign
+temporal correlation (section 4.2.3). A fraction of visits additionally
+pass through a short redirect chain (URL shorteners / trackers), modeled
+with a small pool of redirector domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.domains import (
+    BenignCatalog,
+    HostingAssignment,
+    SiteProfile,
+)
+from repro.simulation.groundtruth import DomainCategory, DomainRecord
+
+
+@dataclass(frozen=True, slots=True)
+class PageLookup:
+    """One DNS lookup triggered by a page visit."""
+
+    delay: float  # seconds after the session start
+    qname: str
+    e2ld: str
+
+
+class BrowsingModel:
+    """Expands a session start time into the DNS lookups it triggers."""
+
+    REDIRECTOR_COUNT = 6
+
+    def __init__(self, catalog: BenignCatalog, rng: np.random.Generator) -> None:
+        self._catalog = catalog
+        self._rng = rng
+        self._sites = catalog.all_sites
+        self._weights = catalog.site_weights()
+        self._profile_index = catalog.profile_by_domain()
+        self.redirector_records: list[DomainRecord] = []
+        self.redirector_hosting: dict[str, HostingAssignment] = {}
+        self._redirectors: list[str] = []
+        self._build_redirectors()
+
+    def _build_redirectors(self) -> None:
+        """URL-shortener / tracker style domains used in redirect chains."""
+        stems = ("lnk", "go", "clck", "jmp", "t", "short")
+        tlds = ("ly", "gd", "to", "cc", "me", "io")
+        for index in range(self.REDIRECTOR_COUNT):
+            name = f"{stems[index % len(stems)]}{index}.{tlds[index % len(tlds)]}"
+            self._redirectors.append(name)
+            self.redirector_hosting[name] = HostingAssignment(
+                ttl=300,
+                fixed_ips=self._catalog._dedicated_block.allocate_many(2),
+            )
+            self.redirector_records.append(
+                DomainRecord(
+                    name=name,
+                    category=DomainCategory.INFRASTRUCTURE,
+                    family="redirector",
+                    registration_age_days=3000.0,
+                )
+            )
+
+    def pick_site(self) -> SiteProfile:
+        """Sample a site by Zipf popularity."""
+        return self.pick_sites(1)[0]
+
+    def pick_sites(self, count: int) -> list[SiteProfile]:
+        """Batch-sample ``count`` sites by Zipf popularity.
+
+        Uses inverse-CDF sampling (cumsum + searchsorted) so the cost is
+        O(count log sites) rather than numpy.choice's O(count * sites).
+        """
+        cumulative = np.cumsum(self._weights)
+        draws = self._rng.uniform(0.0, cumulative[-1], size=count)
+        indices = np.searchsorted(cumulative, draws, side="right")
+        indices = np.minimum(indices, len(self._sites) - 1)
+        return [self._sites[int(i)] for i in indices]
+
+    def session_lookups(self, site: SiteProfile | None = None) -> list[PageLookup]:
+        """All DNS lookups of one browsing session, with relative delays.
+
+        The session orders: optional redirect chain, the site itself,
+        then embedded third parties as the page renders, then possibly one
+        or two follow-on pages on the same site.
+        """
+        if site is None:
+            site = self.pick_site()
+        lookups: list[PageLookup] = []
+        delay = 0.0
+
+        if self._redirectors and self._rng.random() < 0.12:
+            chain_length = int(self._rng.integers(1, 4))
+            picks = self._rng.choice(
+                len(self._redirectors),
+                size=min(chain_length, len(self._redirectors)),
+                replace=False,
+            )
+            for pick in picks:
+                redirector = self._redirectors[int(pick)]
+                lookups.append(
+                    PageLookup(delay=delay, qname=redirector, e2ld=redirector)
+                )
+                delay += float(self._rng.uniform(0.1, 0.8))
+
+        hostname = site.hostnames[int(self._rng.integers(len(site.hostnames)))]
+        lookups.append(PageLookup(delay=delay, qname=hostname, e2ld=site.domain))
+        delay += float(self._rng.uniform(0.2, 1.5))
+
+        profile_index = self._profile_index
+        for embedded in site.embedded_domains:
+            if self._rng.random() < 0.85:  # some resources are cached
+                profile = profile_index.get(embedded)
+                qname = embedded
+                if profile is not None and profile.hostnames:
+                    qname = profile.hostnames[
+                        int(self._rng.integers(len(profile.hostnames)))
+                    ]
+                lookups.append(PageLookup(delay=delay, qname=qname, e2ld=embedded))
+                delay += float(self._rng.uniform(0.05, 0.6))
+
+        # Follow-on page views within the same session.
+        followups = int(self._rng.integers(0, 3))
+        for _ in range(followups):
+            delay += float(self._rng.uniform(20.0, 180.0))
+            hostname = site.hostnames[int(self._rng.integers(len(site.hostnames)))]
+            lookups.append(PageLookup(delay=delay, qname=hostname, e2ld=site.domain))
+        return lookups

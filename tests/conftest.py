@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Expensive artifacts (the tiny simulated trace and the processed detector)
+are session-scoped: many test modules read them, none mutates them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    IntelligenceFeed,
+    MaliciousDomainDetector,
+    PipelineConfig,
+    SimulatedVirusTotal,
+    SimulationConfig,
+    TraceGenerator,
+    build_labeled_dataset,
+)
+from repro.embedding.line import LineConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A small but fully structured simulated campus trace."""
+    return TraceGenerator(SimulationConfig.tiny(seed=7)).generate()
+
+
+@pytest.fixture(scope="session")
+def fast_line_config():
+    """A LINE config small enough for test-time training."""
+    return LineConfig(dimension=16, total_samples=120_000, seed=5)
+
+
+@pytest.fixture(scope="session")
+def processed_detector(tiny_trace, fast_line_config):
+    """A detector with graphs, projections and embeddings built."""
+    detector = MaliciousDomainDetector(
+        PipelineConfig(embedding=fast_line_config)
+    )
+    detector.process(tiny_trace.queries, tiny_trace.responses, tiny_trace.dhcp)
+    return detector
+
+
+@pytest.fixture(scope="session")
+def labeled_dataset(tiny_trace, processed_detector):
+    """Labels assembled with the paper's validation rule."""
+    feed = IntelligenceFeed(tiny_trace.ground_truth)
+    virustotal = SimulatedVirusTotal(tiny_trace.ground_truth)
+    return build_labeled_dataset(feed, virustotal, processed_detector.domains)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,69 @@
+"""Unit tests for the alias-method sampler."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.alias import AliasSampler
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.array([1.0, -0.5]))
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.array([0.0, 0.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.ones((2, 2)))
+
+    def test_size(self):
+        assert AliasSampler(np.ones(7)).size == 7
+
+
+class TestSampling:
+    def test_sample_count_and_dtype(self, rng):
+        sampler = AliasSampler(np.array([1.0, 2.0, 3.0]))
+        draws = sampler.sample(1000, rng)
+        assert draws.shape == (1000,)
+        assert draws.dtype == np.int64
+        assert draws.min() >= 0 and draws.max() <= 2
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AliasSampler(np.ones(3)).sample(-1, rng)
+
+    def test_zero_count(self, rng):
+        assert AliasSampler(np.ones(3)).sample(0, rng).size == 0
+
+    def test_distribution_matches_weights(self, rng):
+        weights = np.array([0.1, 0.2, 0.3, 0.4])
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(200_000, rng)
+        empirical = np.bincount(draws, minlength=4) / draws.size
+        assert np.allclose(empirical, weights, atol=0.01)
+
+    def test_zero_weight_never_drawn(self, rng):
+        sampler = AliasSampler(np.array([0.0, 1.0, 0.0, 1.0]))
+        draws = sampler.sample(50_000, rng)
+        assert set(np.unique(draws)) <= {1, 3}
+
+    def test_single_element(self, rng):
+        sampler = AliasSampler(np.array([5.0]))
+        assert np.all(sampler.sample(100, rng) == 0)
+
+    def test_heavily_skewed_weights(self, rng):
+        weights = np.array([1e-6, 1.0])
+        draws = AliasSampler(weights).sample(100_000, rng)
+        assert np.mean(draws == 1) > 0.999
+
+    def test_unnormalized_weights_ok(self, rng):
+        a = AliasSampler(np.array([2.0, 6.0]))
+        draws = a.sample(100_000, rng)
+        assert np.isclose(np.mean(draws == 1), 0.75, atol=0.01)

@@ -1,0 +1,158 @@
+"""Unit tests for bipartite graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.dns.dhcp import DhcpLog, HostIdentityResolver
+from repro.dns.types import DhcpLease, DnsQuery, DnsResponse, QueryType, ResourceRecord
+from repro.errors import GraphConstructionError
+from repro.graphs.bipartite import (
+    BipartiteGraph,
+    build_domain_ip_graph,
+    build_domain_time_graph,
+    build_host_domain_graph,
+)
+
+
+def query(t, ip, qname):
+    return DnsQuery(t, 1, ip, qname)
+
+
+def response(t, ip, qname, answers=(), nxdomain=False):
+    return DnsResponse(
+        t, 1, ip, qname,
+        answers=tuple(ResourceRecord(QueryType.A, a, 300) for a in answers),
+        nxdomain=nxdomain,
+    )
+
+
+class TestHostDomainGraph:
+    def test_aggregates_to_e2ld(self):
+        graph = build_host_domain_graph(
+            [
+                query(1.0, "10.0.0.1", "www.example.com"),
+                query(2.0, "10.0.0.1", "mail.example.com"),
+                query(3.0, "10.0.0.2", "example.com"),
+            ]
+        )
+        assert graph.domains == ["example.com"]
+        assert graph.neighbors("example.com") == {"10.0.0.1", "10.0.0.2"}
+
+    def test_invalid_names_skipped(self):
+        graph = build_host_domain_graph(
+            [
+                query(1.0, "10.0.0.1", "bad domain!"),
+                query(2.0, "10.0.0.1", "com"),  # bare public suffix
+                query(3.0, "10.0.0.1", "ok.example.com"),
+            ]
+        )
+        assert graph.domains == ["example.com"]
+
+    def test_dhcp_identity_merges_ips(self):
+        dhcp = DhcpLog(
+            [
+                DhcpLease("aa:01", "10.0.0.1", 0.0, 100.0),
+                DhcpLease("aa:01", "10.0.0.2", 100.0, 200.0),
+            ]
+        )
+        identity = HostIdentityResolver(dhcp)
+        graph = build_host_domain_graph(
+            [
+                query(50.0, "10.0.0.1", "example.com"),
+                query(150.0, "10.0.0.2", "example.com"),
+            ],
+            identity,
+        )
+        # Same physical device: one host vertex despite two IPs.
+        assert graph.neighbors("example.com") == {"aa:01"}
+
+    def test_without_dhcp_uses_ips(self):
+        graph = build_host_domain_graph(
+            [
+                query(50.0, "10.0.0.1", "example.com"),
+                query(150.0, "10.0.0.2", "example.com"),
+            ]
+        )
+        assert graph.degree("example.com") == 2
+
+
+class TestDomainIpGraph:
+    def test_collects_answer_ips(self):
+        graph = build_domain_ip_graph(
+            [
+                response(1.0, "10.0.0.1", "www.example.com", ["93.0.0.1"]),
+                response(2.0, "10.0.0.2", "example.com", ["93.0.0.2"]),
+            ]
+        )
+        assert graph.neighbors("example.com") == {"93.0.0.1", "93.0.0.2"}
+
+    def test_nxdomain_ignored(self):
+        graph = build_domain_ip_graph(
+            [response(1.0, "10.0.0.1", "gone.example.com", nxdomain=True)]
+        )
+        assert graph.domain_count == 0
+
+
+class TestDomainTimeGraph:
+    def test_minute_windows(self):
+        graph = build_domain_time_graph(
+            [
+                query(10.0, "h", "example.com"),   # minute 0
+                query(59.0, "h", "example.com"),   # minute 0
+                query(61.0, "h", "example.com"),   # minute 1
+                query(3600.0, "h", "example.com"),  # minute 60
+            ]
+        )
+        assert graph.neighbors("example.com") == {0, 1, 60}
+
+    def test_custom_window(self):
+        graph = build_domain_time_graph(
+            [query(10.0, "h", "example.com"), query(500.0, "h", "example.com")],
+            window_seconds=600.0,
+        )
+        assert graph.neighbors("example.com") == {0}
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            build_domain_time_graph([], window_seconds=0.0)
+
+
+class TestBipartiteGraphOps:
+    @pytest.fixture()
+    def graph(self):
+        g = BipartiteGraph(kind="host")
+        g.add_edge("a.com", "h1")
+        g.add_edge("a.com", "h2")
+        g.add_edge("b.com", "h2")
+        g.add_edge("c.com", "h3")
+        return g
+
+    def test_counts(self, graph):
+        assert graph.domain_count == 3
+        assert graph.edge_count == 4
+        assert graph.right_vertices == {"h1", "h2", "h3"}
+
+    def test_restrict_to(self, graph):
+        restricted = graph.restrict_to(["a.com", "c.com"])
+        assert set(restricted.domains) == {"a.com", "c.com"}
+        assert restricted.edge_count == 3
+        # Original untouched.
+        assert graph.domain_count == 3
+
+    def test_incidence_matrix(self, graph):
+        matrix, domains, right = graph.incidence_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix.sum() == 4
+        row = domains.index("a.com")
+        assert matrix[row].sum() == 2
+
+    def test_incidence_with_explicit_order(self, graph):
+        order = ["c.com", "a.com", "missing.com"]
+        matrix, domains, __ = graph.incidence_matrix(order)
+        assert domains == order
+        assert matrix[2].sum() == 0  # missing domain -> zero row
+
+    def test_neighbors_returns_copy(self, graph):
+        neighbors = graph.neighbors("a.com")
+        neighbors.add("h999")
+        assert "h999" not in graph.neighbors("a.com")

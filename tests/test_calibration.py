@@ -1,0 +1,93 @@
+"""Unit tests for Platt scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.calibration import PlattScaler
+
+
+@pytest.fixture(scope="module")
+def scored_data():
+    rng = np.random.default_rng(0)
+    n = 400
+    labels = rng.integers(0, 2, size=n)
+    # Scores correlated with labels plus noise.
+    scores = labels * 2.0 - 1.0 + rng.normal(0, 0.8, size=n)
+    return scores, labels
+
+
+class TestPlattScaler:
+    def test_probabilities_in_unit_interval(self, scored_data):
+        scores, labels = scored_data
+        scaler = PlattScaler().fit(scores, labels)
+        probabilities = scaler.predict_proba(scores)
+        assert np.all(probabilities > 0)
+        assert np.all(probabilities < 1)
+
+    def test_monotone_in_score(self, scored_data):
+        scores, labels = scored_data
+        scaler = PlattScaler().fit(scores, labels)
+        grid = np.linspace(scores.min(), scores.max(), 50)
+        probabilities = scaler.predict_proba(grid)
+        assert np.all(np.diff(probabilities) >= -1e-12)
+
+    def test_calibration_quality(self, scored_data):
+        """Predicted probabilities track empirical frequencies."""
+        scores, labels = scored_data
+        scaler = PlattScaler().fit(scores, labels)
+        probabilities = scaler.predict_proba(scores)
+        for low, high in ((0.0, 0.25), (0.25, 0.5), (0.5, 0.75), (0.75, 1.0)):
+            mask = (probabilities >= low) & (probabilities < high)
+            if mask.sum() < 20:
+                continue
+            empirical = labels[mask].mean()
+            predicted = probabilities[mask].mean()
+            assert abs(empirical - predicted) < 0.15
+
+    def test_ranking_preserved(self, scored_data):
+        scores, labels = scored_data
+        from repro.ml.metrics import roc_auc_score
+
+        scaler = PlattScaler().fit(scores, labels)
+        auc_scores = roc_auc_score(labels, scores)
+        auc_probabilities = roc_auc_score(
+            labels, scaler.predict_proba(scores)
+        )
+        assert auc_probabilities == pytest.approx(auc_scores, abs=1e-9)
+
+    def test_separable_data_does_not_blow_up(self):
+        scores = np.array([-2.0, -1.5, -1.0, 1.0, 1.5, 2.0])
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        scaler = PlattScaler().fit(scores, labels)
+        probabilities = scaler.predict_proba(scores)
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities[0] < 0.5 < probabilities[-1]
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            PlattScaler().fit(np.zeros(5), np.ones(5))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            PlattScaler().predict_proba(np.zeros(3))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PlattScaler().fit(np.zeros(4), np.zeros(5))
+
+    def test_with_real_svm_scores(self):
+        from repro.ml.svm import SupportVectorClassifier
+
+        rng = np.random.default_rng(3)
+        n = 150
+        features = np.vstack(
+            [rng.normal(-1, 0.7, size=(n, 2)), rng.normal(1, 0.7, size=(n, 2))]
+        )
+        labels = np.array([0] * n + [1] * n)
+        model = SupportVectorClassifier(c=1.0, gamma=0.5).fit(features, labels)
+        scores = model.decision_function(features)
+        scaler = PlattScaler().fit(scores, labels)
+        probabilities = scaler.predict_proba(scores)
+        assert probabilities[labels == 1].mean() > 0.7
+        assert probabilities[labels == 0].mean() < 0.3

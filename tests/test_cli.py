@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-trace")
+    code = main(
+        ["simulate", str(directory), "--scale", "tiny", "--seed", "3",
+         "--days", "1"]
+    )
+    assert code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "out"])
+        assert args.scale == "tiny"
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSimulate:
+    def test_writes_all_artifacts(self, trace_dir):
+        assert (trace_dir / "dns.log").exists()
+        assert (trace_dir / "dhcp.log").exists()
+        assert (trace_dir / "groundtruth.tsv").exists()
+
+    def test_deterministic_for_seed(self, tmp_path):
+        dir_a = tmp_path / "a"
+        dir_b = tmp_path / "b"
+        main(["simulate", str(dir_a), "--seed", "9", "--days", "0.5"])
+        main(["simulate", str(dir_b), "--seed", "9", "--days", "0.5"])
+        assert (dir_a / "dns.log").read_text() == (dir_b / "dns.log").read_text()
+
+
+class TestStats:
+    def test_prints_summary(self, trace_dir, capsys):
+        assert main(["stats", str(trace_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "total queries" in output
+        assert "unique e2LDs" in output
+
+    def test_profile_flag(self, trace_dir, capsys):
+        assert main(["stats", str(trace_dir), "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "00:00" in output and "23:00" in output
+
+
+class TestDetect:
+    def test_scores_written_and_ranked(self, trace_dir, capsys):
+        assert main(["detect", str(trace_dir), "--dimension", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "top suspects" in output
+        scores_file = trace_dir / "scores.tsv"
+        assert scores_file.exists()
+        values = [
+            float(line.split("\t")[1])
+            for line in scores_file.read_text().splitlines()
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_missing_groundtruth_fails_cleanly(self, trace_dir, tmp_path, capsys):
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        (bare / "dns.log").write_text(
+            (trace_dir / "dns.log").read_text()
+        )
+        assert main(["detect", str(bare)]) == 2
+
+
+class TestCluster:
+    def test_prints_annotated_clusters(self, trace_dir, capsys):
+        assert main(["cluster", str(trace_dir), "--dimension", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "clusters" in output

@@ -1,0 +1,132 @@
+"""Unit tests for cluster mining and seed expansion (paper section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    DomainCluster,
+    DomainClusterer,
+    expand_from_seeds,
+)
+from repro.labels.threatbook import SimulatedThreatBook
+from repro.labels.virustotal import SimulatedVirusTotal, VirusTotalConfig
+from repro.simulation.groundtruth import (
+    DomainCategory,
+    DomainRecord,
+    GroundTruth,
+)
+
+
+@pytest.fixture(scope="module")
+def truth():
+    records = [
+        DomainRecord(f"spamdom{i}.bid", DomainCategory.SPAM, "spam-0", 40.0)
+        for i in range(20)
+    ]
+    records += [
+        DomainRecord(f"dgadom{i}.ws", DomainCategory.DGA, "dga-0", 25.0)
+        for i in range(20)
+    ]
+    records += [
+        DomainRecord(f"site{i}.com", DomainCategory.LONGTAIL_SITE, "longtail")
+        for i in range(40)
+    ]
+    return GroundTruth(records)
+
+
+@pytest.fixture(scope="module")
+def clustered(truth):
+    """Synthetic embeddings: three well-separated groups."""
+    rng = np.random.default_rng(0)
+    domains, features = [], []
+    for i in range(20):
+        domains.append(f"spamdom{i}.bid")
+        features.append(rng.normal((5, 0, 0), 0.3))
+    for i in range(20):
+        domains.append(f"dgadom{i}.ws")
+        features.append(rng.normal((0, 5, 0), 0.3))
+    for i in range(40):
+        domains.append(f"site{i}.com")
+        features.append(rng.normal((0, 0, 5), 0.8))
+    clusterer = DomainClusterer(k_min=2, k_max=10, seed=1)
+    clusters = clusterer.fit(domains, np.array(features))
+    return clusterer, clusters
+
+
+class TestDomainClusterer:
+    def test_groups_recovered(self, clustered):
+        __, clusters = clustered
+        assert 3 <= len(clusters) <= 6
+        spam_cluster = next(
+            c for c in clusters if "spamdom0.bid" in c.domains
+        )
+        assert sum(d.startswith("spamdom") for d in spam_cluster.domains) >= 18
+
+    def test_every_domain_in_exactly_one_cluster(self, clustered):
+        __, clusters = clustered
+        all_members = [d for c in clusters for d in c.domains]
+        assert len(all_members) == 80
+        assert len(set(all_members)) == 80
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DomainClusterer().fit(["a.com"], np.zeros((2, 3)))
+
+    def test_annotate_reports_dominant_category(self, clustered, truth):
+        clusterer, clusters = clustered
+        threatbook = SimulatedThreatBook(truth, coverage=1.0)
+        reports = clusterer.annotate(threatbook)
+        spam_report = next(
+            r for r in reports if "spamdom0.bid" in r.cluster.domains
+        )
+        assert spam_report.dominant_category == "spam"
+        assert spam_report.category_share > 0.8
+
+    def test_annotate_requires_fit(self, truth):
+        clusterer = DomainClusterer()
+        with pytest.raises(ValueError, match="fit"):
+            clusterer.annotate(SimulatedThreatBook(truth))
+
+
+class TestSeedExpansion:
+    def test_seeds_pull_in_cluster_siblings(self, clustered, truth):
+        __, clusters = clustered
+        virustotal = SimulatedVirusTotal(truth)
+        result = expand_from_seeds(
+            clusters, ["spamdom0.bid", "spamdom1.bid"], virustotal
+        )
+        assert result.seed_size == 2
+        discovered = set(result.true_domains) | set(result.suspicious_domains)
+        assert len(discovered) >= 15  # the rest of the spam cluster
+        assert "spamdom0.bid" not in discovered  # seeds excluded
+
+    def test_partition_into_true_and_suspicious(self, clustered, truth):
+        __, clusters = clustered
+        virustotal = SimulatedVirusTotal(
+            truth, VirusTotalConfig(blind_spot_rate=0.5)
+        )
+        result = expand_from_seeds(clusters, ["dgadom0.ws"], virustotal)
+        # With a 50% blind spot both buckets are populated.
+        assert result.discovered_true > 0
+        assert result.discovered_suspicious > 0
+        assert not set(result.true_domains) & set(result.suspicious_domains)
+
+    def test_no_seeds_discovers_nothing(self, clustered, truth):
+        __, clusters = clustered
+        virustotal = SimulatedVirusTotal(truth)
+        result = expand_from_seeds(clusters, [], virustotal)
+        assert result.discovered_true == 0
+        assert result.discovered_suspicious == 0
+
+    def test_counts_match_lists(self, clustered, truth):
+        __, clusters = clustered
+        virustotal = SimulatedVirusTotal(truth)
+        result = expand_from_seeds(clusters, ["spamdom0.bid"], virustotal)
+        assert result.discovered_true == len(result.true_domains)
+        assert result.discovered_suspicious == len(result.suspicious_domains)
+
+
+class TestDomainCluster:
+    def test_len(self):
+        cluster = DomainCluster(0, ["a.com", "b.com"], np.zeros(3))
+        assert len(cluster) == 2

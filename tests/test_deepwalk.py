@@ -1,0 +1,108 @@
+"""Unit tests for the DeepWalk / node2vec embedder."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.deepwalk import (
+    DeepWalkConfig,
+    _generate_walks,
+    train_deepwalk,
+)
+from repro.errors import EmbeddingError
+from repro.graphs.projection import SimilarityGraph
+
+from tests.test_line import _clique_distances, two_cliques_graph
+
+
+@pytest.fixture(scope="module")
+def clique_embedding():
+    return train_deepwalk(
+        two_cliques_graph(),
+        DeepWalkConfig(dimension=16, walks_per_node=20, epochs=3, seed=4),
+    )
+
+
+class TestTrainDeepwalk:
+    def test_shapes_and_container(self, clique_embedding):
+        assert clique_embedding.vectors.shape == (12, 16)
+        assert clique_embedding.vector("a0").shape == (16,)
+
+    def test_norms_match_scale(self, clique_embedding):
+        norms = np.linalg.norm(clique_embedding.vectors, axis=1)
+        assert np.allclose(norms, 4.0)
+
+    def test_cliques_separate(self, clique_embedding):
+        within, across = _clique_distances(clique_embedding.vectors)
+        assert np.mean(within) < 0.85 * np.mean(across)
+
+    def test_deterministic(self):
+        graph = two_cliques_graph()
+        config = DeepWalkConfig(dimension=8, walks_per_node=4, seed=9)
+        first = train_deepwalk(graph, config)
+        second = train_deepwalk(graph, config)
+        assert np.array_equal(first.vectors, second.vectors)
+
+    def test_node2vec_biases_run(self):
+        graph = two_cliques_graph()
+        embedding = train_deepwalk(
+            graph,
+            DeepWalkConfig(
+                dimension=8,
+                walks_per_node=4,
+                return_parameter=2.0,
+                inout_parameter=0.5,
+                seed=2,
+            ),
+        )
+        assert embedding.vectors.shape == (12, 8)
+
+    def test_empty_graph_raises(self):
+        empty = SimilarityGraph(
+            kind="ip", domains=[], rows=np.empty(0, dtype=int),
+            cols=np.empty(0, dtype=int), weights=np.empty(0),
+        )
+        with pytest.raises(EmbeddingError):
+            train_deepwalk(empty)
+
+    def test_edgeless_graph_gives_zeros(self):
+        graph = SimilarityGraph(
+            kind="ip", domains=["a.com"], rows=np.empty(0, dtype=int),
+            cols=np.empty(0, dtype=int), weights=np.empty(0),
+        )
+        embedding = train_deepwalk(graph, DeepWalkConfig(dimension=8))
+        assert np.all(embedding.vectors == 0)
+
+
+class TestWalkGeneration:
+    def test_walks_respect_length_and_count(self, rng):
+        graph = two_cliques_graph()
+        config = DeepWalkConfig(walks_per_node=3, walk_length=10)
+        walks = _generate_walks(graph, config, rng)
+        assert len(walks) == 3 * 12
+        assert all(w.size <= 10 for w in walks)
+        assert all(w.size >= 2 for w in walks)
+
+    def test_walks_follow_edges(self, rng):
+        graph = two_cliques_graph()
+        adjacency: dict[int, set[int]] = {}
+        for r, c in zip(graph.rows, graph.cols):
+            adjacency.setdefault(int(r), set()).add(int(c))
+            adjacency.setdefault(int(c), set()).add(int(r))
+        walks = _generate_walks(graph, DeepWalkConfig(walks_per_node=2), rng)
+        for walk in walks:
+            for a, b in zip(walk, walk[1:]):
+                assert int(b) in adjacency[int(a)]
+
+
+class TestConfigValidation:
+    def test_bad_values(self):
+        with pytest.raises(EmbeddingError):
+            DeepWalkConfig(dimension=1).validate()
+        with pytest.raises(EmbeddingError):
+            DeepWalkConfig(walk_length=1).validate()
+        with pytest.raises(EmbeddingError):
+            DeepWalkConfig(window=0).validate()
+        with pytest.raises(EmbeddingError):
+            DeepWalkConfig(return_parameter=0.0).validate()
+        with pytest.raises(EmbeddingError):
+            DeepWalkConfig(epochs=0).validate()

@@ -1,0 +1,73 @@
+"""Unit tests for the SVM-based malicious-domain classifier wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import (
+    MaliciousDomainClassifier,
+    PAPER_GAMMA,
+    PAPER_PENALTY,
+)
+from repro.errors import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    n = 120
+    features = np.vstack(
+        [rng.normal(-0.8, 0.5, size=(n, 6)), rng.normal(0.8, 0.5, size=(n, 6))]
+    )
+    labels = np.array([0] * n + [1] * n)
+    return features, labels
+
+
+class TestPaperDefaults:
+    def test_constants_match_paper(self):
+        assert PAPER_PENALTY == 0.09
+        assert PAPER_GAMMA == 0.06
+
+    def test_default_construction_uses_paper_values(self, data):
+        features, labels = data
+        model = MaliciousDomainClassifier().fit(features, labels)
+        assert model._svm.c == 0.09
+        assert model._svm.gamma == 0.06
+        assert model.score(features, labels) > 0.9
+
+
+class TestClassification:
+    def test_predict_binary(self, data):
+        features, labels = data
+        model = MaliciousDomainClassifier().fit(features, labels)
+        predictions = model.predict(features)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_threshold_trades_recall_for_precision(self, data):
+        features, labels = data
+        lenient = MaliciousDomainClassifier(threshold=-0.5).fit(features, labels)
+        strict = MaliciousDomainClassifier(threshold=0.5).fit(features, labels)
+        assert strict.predict(features).sum() <= lenient.predict(features).sum()
+
+    def test_labels_must_be_binary(self, data):
+        features, __ = data
+        labels = np.array([1, 2] * (features.shape[0] // 2))
+        with pytest.raises(ValueError, match="0.*1"):
+            MaliciousDomainClassifier().fit(features, labels)
+
+    def test_not_fitted(self):
+        model = MaliciousDomainClassifier()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 6)))
+        with pytest.raises(NotFittedError):
+            model.support_vector_count
+
+    def test_decision_scores_align_with_labels(self, data):
+        features, labels = data
+        model = MaliciousDomainClassifier().fit(features, labels)
+        scores = model.decision_function(features)
+        assert scores[labels == 1].mean() > scores[labels == 0].mean()
+
+    def test_support_vector_count_positive(self, data):
+        features, labels = data
+        model = MaliciousDomainClassifier().fit(features, labels)
+        assert model.support_vector_count > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the DGA generators."""
+
+import string
+
+import pytest
+
+from repro.dns.names import is_valid_domain_name
+from repro.simulation.dga import (
+    HexDga,
+    PseudoRandomDga,
+    WordlistDga,
+    spam_campaign_names,
+)
+
+
+class TestPseudoRandomDga:
+    def test_deterministic_per_index(self):
+        generator = PseudoRandomDga(seed=1, tld="ws")
+        assert generator.domain(5) == generator.domain(5)
+
+    def test_different_indices_differ(self):
+        generator = PseudoRandomDga(seed=1)
+        assert generator.domain(0) != generator.domain(1)
+
+    def test_different_seeds_differ(self):
+        assert PseudoRandomDga(1).domain(0) != PseudoRandomDga(2).domain(0)
+
+    def test_shape_matches_conficker_style(self):
+        generator = PseudoRandomDga(seed=3, tld="ws", length=11)
+        label, tld = generator.domain(0).rsplit(".", 1)
+        assert tld == "ws"
+        assert len(label) == 11
+        assert set(label) <= set(string.ascii_lowercase)
+
+    def test_domains_are_unique_and_valid(self):
+        names = PseudoRandomDga(seed=4).domains(200)
+        assert len(set(names)) == 200
+        assert all(is_valid_domain_name(n) for n in names)
+
+    def test_minimum_length_enforced(self):
+        with pytest.raises(ValueError):
+            PseudoRandomDga(seed=1, length=3)
+
+
+class TestHexDga:
+    def test_hex_alphabet(self):
+        label, __ = HexDga(seed=9).domain(0).rsplit(".", 1)
+        assert set(label) <= set("0123456789abcdef")
+
+    def test_length(self):
+        label, __ = HexDga(seed=9, length=12).domain(0).rsplit(".", 1)
+        assert len(label) == 12
+
+
+class TestWordlistDga:
+    def test_produces_pronounceable_names(self):
+        generator = WordlistDga(seed=2, tld="net", words_per_name=2)
+        label, tld = generator.domain(0).rsplit(".", 1)
+        assert tld == "net"
+        assert label.isalpha()
+
+    def test_dedup_in_domains(self):
+        # The wordlist is small so collisions happen; domains() must
+        # still return distinct names.
+        names = WordlistDga(seed=2).domains(300)
+        assert len(set(names)) == 300
+
+    def test_words_per_name_bounds(self):
+        with pytest.raises(ValueError):
+            WordlistDga(seed=2, words_per_name=4)
+
+
+class TestSpamCampaignNames:
+    def test_count_and_tld(self):
+        names = spam_campaign_names(seed=1, count=40, tld="bid")
+        assert len(names) == 40
+        assert len(set(names)) == 40
+        assert all(n.endswith(".bid") for n in names)
+
+    def test_labels_are_keyword_mashups(self):
+        names = spam_campaign_names(seed=1, count=40)
+        labels = [n.rsplit(".", 1)[0] for n in names]
+        assert all(6 <= len(label) <= 18 for label in labels)
+        assert all(is_valid_domain_name(n) for n in names)
+
+    def test_deterministic(self):
+        assert spam_campaign_names(seed=5, count=10) == spam_campaign_names(
+            seed=5, count=10
+        )

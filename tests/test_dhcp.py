@@ -1,0 +1,82 @@
+"""Unit tests for DHCP logs and host-identity resolution."""
+
+import io
+
+import pytest
+
+from repro.dns.dhcp import DhcpLog, HostIdentityResolver
+from repro.dns.types import DhcpLease
+from repro.errors import DnsLogFormatError
+
+
+@pytest.fixture()
+def log():
+    return DhcpLog(
+        [
+            DhcpLease("aa:01", "10.20.0.1", 0.0, 100.0),
+            DhcpLease("aa:02", "10.20.0.1", 100.0, 200.0),  # IP re-leased
+            DhcpLease("aa:01", "10.20.0.2", 100.0, 300.0),  # host moved
+            DhcpLease("aa:03", "10.20.0.3", 0.0, 300.0),
+        ]
+    )
+
+
+class TestDhcpLog:
+    def test_len_and_macs(self, log):
+        assert len(log) == 4
+        assert log.macs == {"aa:01", "aa:02", "aa:03"}
+
+    def test_round_trip(self, log, tmp_path):
+        path = tmp_path / "dhcp.log"
+        log.save(path)
+        loaded = DhcpLog.load(path)
+        assert list(loaded) == list(log)
+
+    def test_stream_round_trip(self, log):
+        buffer = io.StringIO()
+        log.save(buffer)
+        buffer.seek(0)
+        assert list(DhcpLog.load(buffer)) == list(log)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(DnsLogFormatError):
+            DhcpLog.load(io.StringIO("aa:01\t10.0.0.1\t0.0\n"))
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(DnsLogFormatError):
+            DhcpLog.load(io.StringIO("aa:01\t10.0.0.1\t5.0\t5.0\n"))
+
+
+class TestHostIdentityResolver:
+    def test_resolves_to_current_holder(self, log):
+        resolver = HostIdentityResolver(log)
+        assert resolver.resolve("10.20.0.1", 50.0) == "aa:01"
+        assert resolver.resolve("10.20.0.1", 150.0) == "aa:02"
+
+    def test_host_identity_stable_across_ip_change(self, log):
+        resolver = HostIdentityResolver(log)
+        # aa:01 had 10.20.0.1 then moved to 10.20.0.2: both attribute
+        # to the same physical device.
+        assert resolver.resolve("10.20.0.1", 10.0) == "aa:01"
+        assert resolver.resolve("10.20.0.2", 250.0) == "aa:01"
+
+    def test_unknown_ip_returns_none(self, log):
+        resolver = HostIdentityResolver(log)
+        assert resolver.resolve("192.168.1.1", 50.0) is None
+
+    def test_gap_between_leases_returns_none(self):
+        resolver = HostIdentityResolver(
+            DhcpLog([DhcpLease("aa:01", "10.0.0.1", 100.0, 200.0)])
+        )
+        assert resolver.resolve("10.0.0.1", 50.0) is None
+        assert resolver.resolve("10.0.0.1", 250.0) is None
+
+    def test_resolve_or_ip_falls_back(self, log):
+        resolver = HostIdentityResolver(log)
+        assert resolver.resolve_or_ip("192.168.1.1", 50.0) == "192.168.1.1"
+        assert resolver.resolve_or_ip("10.20.0.3", 50.0) == "aa:03"
+
+    def test_boundary_semantics(self, log):
+        resolver = HostIdentityResolver(log)
+        # Lease end is exclusive; the next lease owns the boundary instant.
+        assert resolver.resolve("10.20.0.1", 100.0) == "aa:02"

@@ -1,0 +1,91 @@
+"""Unit tests for the diurnal activity model."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import SECONDS_PER_DAY
+from repro.simulation.diurnal import (
+    DiurnalModel,
+    is_weekend,
+    sample_diurnal_times,
+    weekend_factor,
+)
+
+
+class TestDiurnalModel:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown device class"):
+            DiurnalModel("toaster")
+
+    def test_rate_integrates_to_daily_count(self):
+        model = DiurnalModel("desktop")
+        hours = np.arange(24)
+        rates = np.array(
+            [model.rate_at(h * 3600.0, events_per_day=48.0) for h in hours]
+        )
+        # Sum of hourly rate * 3600 should equal the daily event count.
+        assert np.isclose(rates.sum() * 3600.0, 48.0, rtol=1e-6)
+
+    def test_desktop_night_quieter_than_day(self):
+        model = DiurnalModel("desktop")
+        night = model.rate_at(3 * 3600.0, 48.0)
+        day = model.rate_at(15 * 3600.0, 48.0)
+        assert day > 10 * night
+
+    def test_iot_is_flat(self):
+        model = DiurnalModel("iot")
+        rates = {model.rate_at(h * 3600.0, 24.0) for h in range(24)}
+        assert len(rates) == 1
+
+    def test_sample_times_within_range(self, rng):
+        times = DiurnalModel("laptop").sample_times(
+            duration=3 * SECONDS_PER_DAY, events_per_day=40.0, rng=rng
+        )
+        assert np.all(times >= 0)
+        assert np.all(times < 3 * SECONDS_PER_DAY)
+        assert np.all(np.diff(times) >= 0)  # sorted
+
+    def test_sample_count_close_to_expectation(self, rng):
+        duration_days = 20
+        times = DiurnalModel("phone").sample_times(
+            duration=duration_days * SECONDS_PER_DAY, events_per_day=50.0, rng=rng
+        )
+        expected = duration_days * 50.0
+        assert 0.8 * expected < times.size < 1.2 * expected
+
+    def test_zero_duration_gives_no_events(self, rng):
+        assert DiurnalModel("phone").sample_times(0.0, 50.0, rng).size == 0
+
+    def test_relative_levels_in_unit_interval(self):
+        model = DiurnalModel("desktop")
+        times = np.linspace(0, SECONDS_PER_DAY, 100)
+        levels = model.relative_levels(times)
+        assert np.all(levels >= 0) and np.all(levels <= 1)
+        assert levels.max() == 1.0
+
+
+class TestWeekendHandling:
+    def test_trace_starts_on_weekday(self):
+        assert not is_weekend(0.0)
+
+    def test_days_five_and_six_are_weekend(self):
+        assert is_weekend(5 * SECONDS_PER_DAY + 10)
+        assert is_weekend(6 * SECONDS_PER_DAY + 10)
+        assert not is_weekend(7 * SECONDS_PER_DAY + 10)
+
+    def test_weekend_factor(self):
+        assert weekend_factor(0.0) == 1.0
+        assert weekend_factor(5 * SECONDS_PER_DAY, weekend_dampening=0.5) == 0.5
+
+    def test_weekend_thinning_reduces_weekend_events(self, rng):
+        times = sample_diurnal_times(
+            "desktop",
+            duration=14 * SECONDS_PER_DAY,
+            events_per_day=200.0,
+            rng=rng,
+            weekend_dampening=0.2,
+        )
+        weekend_count = sum(1 for t in times if is_weekend(t))
+        weekday_count = times.size - weekend_count
+        # 4 weekend days vs 10 weekdays with heavy dampening.
+        assert weekend_count < weekday_count * 0.25

@@ -1,0 +1,86 @@
+"""Unit tests for repro.dns.names."""
+
+import pytest
+
+from repro.dns.names import (
+    is_valid_domain_name,
+    normalize_domain,
+    registered_domain,
+    split_labels,
+)
+from repro.errors import DomainNameError
+
+
+class TestNormalizeDomain:
+    def test_lowercases_and_strips_root_dot(self):
+        assert normalize_domain("WWW.Example.COM.") == "www.example.com"
+
+    def test_strips_whitespace(self):
+        assert normalize_domain("  example.com \n") == "example.com"
+
+    def test_empty_raises(self):
+        with pytest.raises(DomainNameError):
+            normalize_domain("   ")
+
+    def test_only_dots_raises(self):
+        with pytest.raises(DomainNameError):
+            normalize_domain(".")
+
+
+class TestSplitLabels:
+    def test_splits_in_order(self):
+        assert split_labels("a.b.example.com") == ["a", "b", "example", "com"]
+
+
+class TestIsValidDomainName:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "example.com",
+            "sub.example.co.uk",
+            "xn--fiqs8s.cn",
+            "a-b.example.com",
+            "_dmarc.example.com",
+            "123.example.com",
+            "a" * 63 + ".com",
+        ],
+    )
+    def test_valid_names(self, name):
+        assert is_valid_domain_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "",
+            " ",
+            "exa mple.com",
+            "-bad.example.com",
+            "bad-.example.com",
+            "a" * 64 + ".com",
+            "exa!mple.com",
+            "a." * 127 + "a" * 60,  # exceeds total length
+        ],
+    )
+    def test_invalid_names(self, name):
+        assert not is_valid_domain_name(name)
+
+    def test_total_length_boundary(self):
+        # 253 characters is legal, 254 is not.
+        label = "a" * 59
+        legal = ".".join([label, label, label, label, "x" * 13])
+        assert len(legal) == 253
+        assert is_valid_domain_name(legal)
+        assert not is_valid_domain_name(legal + "a")
+
+
+class TestRegisteredDomain:
+    def test_paper_examples(self):
+        # Section 4.1: maps.google.com -> google.com.
+        assert registered_domain("maps.google.com") == "google.com"
+
+    def test_multi_label_suffix(self):
+        assert registered_domain("www.bbc.co.uk") == "bbc.co.uk"
+
+    def test_bare_suffix_raises(self):
+        with pytest.raises(DomainNameError):
+            registered_domain("co.uk")

@@ -1,0 +1,117 @@
+"""Unit tests for repro.dns.types."""
+
+import pytest
+
+from repro.dns.types import (
+    DhcpLease,
+    DnsQuery,
+    DnsResponse,
+    QueryType,
+    ResourceRecord,
+    TraceMetadata,
+)
+
+
+class TestQueryType:
+    def test_from_wire_accepts_known_types(self):
+        assert QueryType.from_wire("A") is QueryType.A
+        assert QueryType.from_wire("cname") is QueryType.CNAME
+        assert QueryType.from_wire("Mx") is QueryType.MX
+
+    def test_from_wire_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown DNS query type"):
+            QueryType.from_wire("BOGUS")
+
+
+class TestDnsQuery:
+    def test_valid_query(self):
+        query = DnsQuery(1.5, 42, "10.0.0.1", "www.example.com")
+        assert query.qtype is QueryType.A
+        assert query.timestamp == 1.5
+
+    def test_txid_range_enforced(self):
+        with pytest.raises(ValueError, match="txid"):
+            DnsQuery(0.0, 70000, "10.0.0.1", "example.com")
+        with pytest.raises(ValueError, match="txid"):
+            DnsQuery(0.0, -1, "10.0.0.1", "example.com")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            DnsQuery(-0.1, 1, "10.0.0.1", "example.com")
+
+    def test_query_is_immutable(self):
+        query = DnsQuery(1.0, 1, "10.0.0.1", "example.com")
+        with pytest.raises(AttributeError):
+            query.qname = "other.com"
+
+
+class TestResourceRecord:
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError, match="TTL"):
+            ResourceRecord(QueryType.A, "1.2.3.4", -5)
+
+    def test_zero_ttl_allowed(self):
+        assert ResourceRecord(QueryType.A, "1.2.3.4", 0).ttl == 0
+
+
+class TestDnsResponse:
+    def test_resolved_ips_filters_a_records(self):
+        response = DnsResponse(
+            timestamp=2.0,
+            txid=7,
+            destination_ip="10.0.0.2",
+            qname="example.com",
+            answers=(
+                ResourceRecord(QueryType.CNAME, "alias.example.com", 60),
+                ResourceRecord(QueryType.A, "1.2.3.4", 300),
+                ResourceRecord(QueryType.AAAA, "::1", 300),
+            ),
+        )
+        assert response.resolved_ips == ("1.2.3.4", "::1")
+
+    def test_min_ttl(self):
+        response = DnsResponse(
+            timestamp=2.0,
+            txid=7,
+            destination_ip="10.0.0.2",
+            qname="example.com",
+            answers=(
+                ResourceRecord(QueryType.A, "1.2.3.4", 300),
+                ResourceRecord(QueryType.A, "1.2.3.5", 60),
+            ),
+        )
+        assert response.min_ttl == 60
+
+    def test_min_ttl_empty_answers(self):
+        response = DnsResponse(2.0, 7, "10.0.0.2", "example.com")
+        assert response.min_ttl is None
+
+    def test_nxdomain_with_answers_rejected(self):
+        with pytest.raises(ValueError, match="NXDOMAIN"):
+            DnsResponse(
+                timestamp=2.0,
+                txid=7,
+                destination_ip="10.0.0.2",
+                qname="example.com",
+                answers=(ResourceRecord(QueryType.A, "1.2.3.4", 10),),
+                nxdomain=True,
+            )
+
+
+class TestDhcpLease:
+    def test_active_window_semantics(self):
+        lease = DhcpLease("aa:bb", "10.0.0.9", 100.0, 200.0)
+        assert lease.active_at(100.0)  # start-inclusive
+        assert lease.active_at(199.999)
+        assert not lease.active_at(200.0)  # end-exclusive
+        assert not lease.active_at(99.999)
+
+    def test_empty_lease_rejected(self):
+        with pytest.raises(ValueError, match="lease end"):
+            DhcpLease("aa:bb", "10.0.0.9", 100.0, 100.0)
+
+
+class TestTraceMetadata:
+    def test_end_time(self):
+        metadata = TraceMetadata(start_time=10.0, duration=5.0, host_count=3)
+        assert metadata.end_time == 15.0

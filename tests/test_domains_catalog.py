@@ -1,0 +1,126 @@
+"""Unit tests for the benign domain catalog."""
+
+import numpy as np
+import pytest
+
+from repro.dns.names import is_valid_domain_name
+from repro.simulation.config import BenignCatalogConfig
+from repro.simulation.domains import BenignCatalog
+from repro.simulation.groundtruth import DomainCategory
+from repro.simulation.ipspace import IpSpace
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    config = BenignCatalogConfig(
+        popular_site_count=30,
+        longtail_site_count=100,
+        third_party_count=20,
+        cdn_provider_count=3,
+        shared_hosting_provider_count=4,
+    )
+    return BenignCatalog(config, IpSpace(), np.random.default_rng(11))
+
+
+class TestCatalogComposition:
+    def test_counts(self, catalog):
+        assert len(catalog.popular_sites) == 30
+        assert len(catalog.longtail_sites) == 100
+        assert len(catalog.third_parties) == 20
+
+    def test_all_names_valid_and_unique(self, catalog):
+        names = [
+            p.domain
+            for p in catalog.all_sites
+            + catalog.third_parties
+            + catalog.background_services
+        ]
+        assert len(set(names)) == len(names)
+        assert all(is_valid_domain_name(n) for n in names)
+
+    def test_records_cover_every_profile(self, catalog):
+        record_names = {r.name for r in catalog.records}
+        profile_names = {
+            p.domain
+            for p in catalog.all_sites
+            + catalog.third_parties
+            + catalog.background_services
+        }
+        assert profile_names == record_names
+
+    def test_all_records_benign(self, catalog):
+        assert all(not r.is_malicious for r in catalog.records)
+
+    def test_third_party_categories(self, catalog):
+        categories = {
+            r.category for r in catalog.records
+            if r.name in {tp.domain for tp in catalog.third_parties}
+        }
+        assert categories <= {DomainCategory.CDN, DomainCategory.THIRD_PARTY}
+
+
+class TestHosting:
+    def test_every_profile_resolves(self, catalog, rng):
+        for profile in catalog.all_sites + catalog.third_parties:
+            ip = profile.hosting.resolve(1000.0, rng)
+            assert ip.count(".") == 3
+
+    def test_shared_hosting_ips_are_reused(self, catalog):
+        shared_users = [
+            p for p in catalog.longtail_sites
+            if p.hosting.fixed_ips
+            and set(p.hosting.fixed_ips) & set(catalog.shared_hosting_ips)
+        ]
+        used = [
+            ip
+            for p in shared_users
+            for ip in p.hosting.fixed_ips
+        ]
+        # Many sites per shared address.
+        assert len(used) > len(set(used))
+
+    def test_cdn_sites_have_pools(self, catalog):
+        pooled = [
+            p for p in catalog.popular_sites + catalog.third_parties
+            if p.hosting.pool is not None
+        ]
+        assert pooled, "expected some catalog entries on CDN pools"
+        for profile in pooled:
+            assert profile.hosting.ttl <= 300  # CDN answers use low TTLs
+
+
+class TestSampling:
+    def test_site_weights_normalized(self, catalog):
+        weights = catalog.site_weights()
+        assert np.isclose(weights.sum(), 1.0)
+        assert weights.size == len(catalog.all_sites)
+
+    def test_popular_sites_dominate_weights(self, catalog):
+        weights = catalog.site_weights()
+        popular_mass = weights[: len(catalog.popular_sites)].sum()
+        assert popular_mass > 0.5
+
+    def test_embedded_domains_are_third_parties(self, catalog):
+        third_party_names = {tp.domain for tp in catalog.third_parties}
+        for site in catalog.popular_sites:
+            assert set(site.embedded_domains) <= third_party_names
+
+    def test_profile_index_complete(self, catalog):
+        index = catalog.profile_by_domain()
+        assert len(index) == len(catalog.all_sites) + len(catalog.third_parties)
+
+
+class TestMachineNames:
+    def test_machine_fraction_present(self):
+        config = BenignCatalogConfig(
+            popular_site_count=10,
+            longtail_site_count=400,
+            third_party_count=10,
+            cdn_provider_count=2,
+            shared_hosting_provider_count=2,
+        )
+        catalog = BenignCatalog(config, IpSpace(), np.random.default_rng(5))
+        labels = [p.domain.split(".")[0] for p in catalog.longtail_sites]
+        with_digits = sum(1 for label in labels if any(c.isdigit() for c in label))
+        # Machine-style names (plus numeric suffixes) appear in the tail.
+        assert with_digits > len(labels) * 0.15

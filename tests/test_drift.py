@@ -1,0 +1,102 @@
+"""Unit tests for temporal-stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.drift import (
+    TransferDecay,
+    feature_stability,
+    neighborhood_stability,
+    transfer_auc_decay,
+)
+from repro.graphs.bipartite import BipartiteGraph
+
+
+class TestNeighborhoodStability:
+    def test_identical_windows_score_one(self):
+        graph = BipartiteGraph(kind="host")
+        graph.add_edge("a.com", "h1")
+        graph.add_edge("a.com", "h2")
+        stability = neighborhood_stability(graph, graph, ["a.com"])
+        assert stability == {"a.com": 1.0}
+
+    def test_partial_overlap(self):
+        window_a = BipartiteGraph(kind="host")
+        window_a.add_edge("a.com", "h1")
+        window_a.add_edge("a.com", "h2")
+        window_b = BipartiteGraph(kind="host")
+        window_b.add_edge("a.com", "h2")
+        window_b.add_edge("a.com", "h3")
+        stability = neighborhood_stability(window_a, window_b, ["a.com"])
+        assert stability["a.com"] == pytest.approx(1 / 3)
+
+    def test_missing_domains_skipped(self):
+        window_a = BipartiteGraph(kind="host")
+        window_a.add_edge("a.com", "h1")
+        window_b = BipartiteGraph(kind="host")
+        stability = neighborhood_stability(window_a, window_b, ["a.com", "x.com"])
+        assert stability == {}
+
+
+class TestFeatureStability:
+    def test_perfect_rank_preservation(self, rng):
+        features = rng.normal(size=(40, 3))
+        shifted = features * 2.0 + 5.0  # monotone transform
+        stability = feature_stability(features, shifted, ["a", "b", "c"])
+        assert all(v == pytest.approx(1.0) for v in stability.values())
+
+    def test_shuffled_feature_scores_near_zero(self, rng):
+        features = rng.normal(size=(200, 1))
+        shuffled = features[rng.permutation(200)]
+        stability = feature_stability(features, shuffled)
+        assert abs(stability["f0"]) < 0.2
+
+    def test_inverted_feature_scores_minus_one(self, rng):
+        features = rng.normal(size=(50, 1))
+        stability = feature_stability(features, -features)
+        assert stability["f0"] == pytest.approx(-1.0)
+
+    def test_constant_feature_scores_zero(self):
+        features = np.ones((10, 1))
+        assert feature_stability(features, features)["f0"] == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            feature_stability(np.ones((3, 2)), np.ones((4, 2)))
+
+    def test_names_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            feature_stability(np.ones((3, 2)), np.ones((3, 2)), ["only-one"])
+
+
+class _ThresholdModel:
+    def fit(self, features, labels):
+        return self
+
+    def decision_function(self, features):
+        return features[:, 0]
+
+
+class TestTransferDecay:
+    def test_no_drift_no_decay(self, rng):
+        features = rng.normal(size=(100, 1))
+        labels = (features[:, 0] > 0).astype(int)
+        result = transfer_auc_decay(
+            _ThresholdModel, features, features, labels
+        )
+        assert result.decay == pytest.approx(0.0)
+        assert result.within_auc == pytest.approx(1.0)
+
+    def test_drift_causes_decay(self, rng):
+        features = rng.normal(size=(300, 1))
+        labels = (features[:, 0] > 0).astype(int)
+        # Window 2: the feature loses most of its signal.
+        shifted = features * 0.1 + rng.normal(size=(300, 1))
+        result = transfer_auc_decay(
+            _ThresholdModel, features, shifted, labels
+        )
+        assert result.transfer_auc < result.within_auc
+        assert result.decay > 0.1
+
+    def test_dataclass_decay_property(self):
+        assert TransferDecay(0.9, 0.8).decay == pytest.approx(0.1)

@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    DnsLogFormatError,
+    DomainNameError,
+    EmbeddingError,
+    GraphConstructionError,
+    NotFittedError,
+    ReproError,
+    SimulationConfigError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            DatasetError,
+            DomainNameError,
+            EmbeddingError,
+            GraphConstructionError,
+            SimulationConfigError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_log_format_error_carries_context(self):
+        error = DnsLogFormatError(42, "bad line", "missing fields")
+        assert error.line_number == 42
+        assert error.line == "bad line"
+        assert "line 42" in str(error)
+        assert isinstance(error, ReproError)
+
+    def test_not_fitted_error_names_model(self):
+        error = NotFittedError("SupportVectorClassifier")
+        assert "SupportVectorClassifier" in str(error)
+        assert "fit()" in str(error)
+
+    def test_catchable_at_api_boundary(self):
+        """A caller can guard any repro call with one except clause."""
+        from repro.dns.names import normalize_domain
+
+        with pytest.raises(ReproError):
+            normalize_domain("")

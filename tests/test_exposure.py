@@ -1,0 +1,155 @@
+"""Unit tests for the Exposure baseline (features + J48)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exposure import (
+    ExposureClassifier,
+    ExposureFeatureExtractor,
+    ExposureFeatures,
+    FEATURE_NAMES,
+    _longest_meaningful_substring,
+)
+from repro.dns.types import DnsQuery, DnsResponse, QueryType, ResourceRecord
+from repro.errors import DatasetError
+
+
+def query(t, ip, qname):
+    return DnsQuery(t, 1, ip, qname)
+
+
+def response(t, qname, ips=(), ttl=300, nxdomain=False):
+    return DnsResponse(
+        t, 1, "10.0.0.1", qname,
+        answers=tuple(ResourceRecord(QueryType.A, ip, ttl) for ip in ips),
+        nxdomain=nxdomain,
+    )
+
+
+@pytest.fixture(scope="module")
+def extracted():
+    day = 86_400.0
+    queries = [
+        # steady.com: queried on 5 days.
+        *[query(d * day + 3600, "10.0.0.1", "www.steady.com") for d in range(5)],
+        # burst.bid: everything on day 2.
+        *[query(2 * day + i * 60, "10.0.0.2", "burst.bid") for i in range(10)],
+    ]
+    responses = [
+        *[
+            response(d * day + 3601, "www.steady.com", ["93.0.0.1"], ttl=3600)
+            for d in range(5)
+        ],
+        *[
+            response(2 * day + i * 60 + 1, "burst.bid", ["93.0.9.9"], ttl=60)
+            for i in range(10)
+        ],
+    ]
+    return ExposureFeatureExtractor(time_window_days=5.0).extract(
+        queries, responses
+    )
+
+
+class TestFeatureExtraction:
+    def test_domains_observed(self, extracted):
+        assert set(extracted.domains) == {"steady.com", "burst.bid"}
+
+    def test_matrix_shape(self, extracted):
+        assert extracted.matrix.shape == (2, len(FEATURE_NAMES))
+
+    def test_access_ratio(self, extracted):
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = extracted.rows_for(["steady.com", "burst.bid"])
+        assert rows[0][index["access_ratio"]] == pytest.approx(1.0)
+        assert rows[1][index["access_ratio"]] == pytest.approx(0.2)
+
+    def test_short_life_flag(self, extracted):
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = extracted.rows_for(["steady.com", "burst.bid"])
+        assert rows[0][index["short_life"]] == 0.0
+        assert rows[1][index["short_life"]] == 1.0
+
+    def test_ttl_mean(self, extracted):
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = extracted.rows_for(["steady.com", "burst.bid"])
+        assert rows[0][index["ttl_mean"]] == pytest.approx(3600.0)
+        assert rows[1][index["ttl_mean"]] == pytest.approx(60.0)
+
+    def test_distinct_ip_count(self, extracted):
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = extracted.rows_for(["steady.com"])
+        assert rows[0][index["distinct_ip_count"]] == 1.0
+
+    def test_rows_for_missing_domain_raises(self, extracted):
+        with pytest.raises(DatasetError, match="lack Exposure features"):
+            extracted.rows_for(["nope.example"])
+
+    def test_shared_ip_counting(self):
+        responses = [
+            response(1.0, "a.com", ["93.0.0.5"]),
+            response(2.0, "b.net", ["93.0.0.5"]),
+            response(3.0, "c.org", ["93.0.0.7"]),
+        ]
+        queries = [
+            query(1.0, "h", "a.com"),
+            query(2.0, "h", "b.net"),
+            query(3.0, "h", "c.org"),
+        ]
+        features = ExposureFeatureExtractor().extract(queries, responses)
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = features.rows_for(["a.com", "c.org"])
+        assert rows[0][index["shared_ip_domain_count"]] == 1.0
+        assert rows[1][index["shared_ip_domain_count"]] == 0.0
+
+    def test_ttl_change_count(self):
+        responses = [
+            response(1.0, "x.com", ["93.0.0.1"], ttl=300),
+            response(2.0, "x.com", ["93.0.0.1"], ttl=60),
+            response(3.0, "x.com", ["93.0.0.1"], ttl=60),
+            response(4.0, "x.com", ["93.0.0.1"], ttl=300),
+        ]
+        queries = [query(1.0, "h", "x.com")]
+        features = ExposureFeatureExtractor().extract(queries, responses)
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        assert features.rows_for(["x.com"])[0][index["ttl_change_count"]] == 2.0
+
+
+class TestLongestMeaningfulSubstring:
+    def test_pure_dictionary_word(self):
+        assert _longest_meaningful_substring("google") == 6
+
+    def test_embedded_word(self):
+        assert _longest_meaningful_substring("xxbankxx") == 4
+
+    def test_random_string(self):
+        assert _longest_meaningful_substring("qzxvkqjw") == 0
+
+    def test_empty(self):
+        assert _longest_meaningful_substring("") == 0
+
+
+class TestExposureClassifier:
+    def test_end_to_end_on_synthetic_features(self, rng):
+        n = 150
+        features = np.vstack(
+            [rng.normal(0, 1, size=(n, 5)), rng.normal(2, 1, size=(n, 5))]
+        )
+        labels = np.array([0] * n + [1] * n)
+        model = ExposureClassifier().fit(features, labels)
+        assert model.score(features, labels) > 0.85
+        scores = model.decision_function(features)
+        assert scores.shape == (2 * n,)
+        assert scores[labels == 1].mean() > scores[labels == 0].mean()
+
+    def test_predict_proba_shape(self, rng):
+        features = rng.normal(size=(50, 3))
+        labels = (features[:, 0] > 0).astype(int)
+        model = ExposureClassifier().fit(features, labels)
+        assert model.predict_proba(features).shape == (50, 2)
+        assert model.tree_node_count >= 1
+
+
+class TestExposureFeaturesValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            ExposureFeatures(domains=["a.com"], matrix=np.zeros((2, 3)))

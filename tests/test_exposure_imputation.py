@@ -1,0 +1,99 @@
+"""Tests for Exposure's missing-feature imputation of unresolved domains."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exposure import ExposureFeatureExtractor, FEATURE_NAMES
+from repro.dns.types import DnsQuery, DnsResponse, QueryType, ResourceRecord
+
+
+def query(t, qname):
+    return DnsQuery(t, 1, "10.0.0.1", qname)
+
+
+def answered(t, qname, ip, ttl):
+    return DnsResponse(
+        t, 1, "10.0.0.1", qname,
+        answers=(ResourceRecord(QueryType.A, ip, ttl),),
+    )
+
+
+def nxdomain(t, qname):
+    return DnsResponse(t, 1, "10.0.0.1", qname, nxdomain=True)
+
+
+@pytest.fixture(scope="module")
+def features():
+    queries = [
+        query(10.0, "resolved-a.com"),
+        query(20.0, "resolved-b.com"),
+        query(30.0, "ghost-a.ws"),
+        query(40.0, "ghost-b.ws"),
+    ]
+    responses = [
+        answered(11.0, "resolved-a.com", "93.0.0.1", 300),
+        answered(21.0, "resolved-b.com", "93.0.0.2", 900),
+        nxdomain(31.0, "ghost-a.ws"),
+        nxdomain(41.0, "ghost-b.ws"),
+    ]
+    return ExposureFeatureExtractor(time_window_days=1.0).extract(
+        queries, responses
+    )
+
+
+_ANSWER_TTL_FEATURES = (
+    "distinct_ip_count",
+    "distinct_prefix_count",
+    "shared_ip_domain_count",
+    "ttl_mean",
+    "ttl_stddev",
+    "distinct_ttl_count",
+    "ttl_change_count",
+    "low_ttl_fraction",
+)
+
+
+class TestImputation:
+    def test_unresolved_get_resolved_medians(self, features):
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = features.rows_for(
+            ["resolved-a.com", "resolved-b.com", "ghost-a.ws"]
+        )
+        for name in _ANSWER_TTL_FEATURES:
+            column = index[name]
+            expected_median = np.median([rows[0][column], rows[1][column]])
+            assert rows[2][column] == pytest.approx(expected_median), name
+
+    def test_ttl_mean_not_zero_for_unresolved(self, features):
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        ghost = features.rows_for(["ghost-a.ws"])[0]
+        assert ghost[index["ttl_mean"]] == pytest.approx(600.0)  # median
+
+    def test_time_and_lexical_features_untouched(self, features):
+        """Only answer/TTL features are imputed; the rest stay real."""
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        ghost = features.rows_for(["ghost-a.ws"])[0]
+        assert ghost[index["access_ratio"]] > 0  # real observation
+        assert ghost[index["longest_meaningful_substring"]] == 0  # "ghosta"?
+        # 'ghosta' contains no dictionary word of length > 0? 'ghost' is
+        # not in the embedded wordlist; the assertion documents that.
+
+    def test_all_resolved_leaves_matrix_unchanged(self):
+        queries = [query(10.0, "a.com"), query(20.0, "b.com")]
+        responses = [
+            answered(11.0, "a.com", "93.0.0.1", 300),
+            answered(21.0, "b.com", "93.0.0.2", 900),
+        ]
+        features = ExposureFeatureExtractor().extract(queries, responses)
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = features.rows_for(["a.com", "b.com"])
+        assert rows[0][index["ttl_mean"]] == 300.0
+        assert rows[1][index["ttl_mean"]] == 900.0
+
+    def test_none_resolved_keeps_zeros(self):
+        queries = [query(10.0, "x.ws"), query(20.0, "y.ws")]
+        responses = [nxdomain(11.0, "x.ws"), nxdomain(21.0, "y.ws")]
+        features = ExposureFeatureExtractor().extract(queries, responses)
+        index = {name: i for i, name in enumerate(FEATURE_NAMES)}
+        rows = features.rows_for(["x.ws", "y.ws"])
+        assert rows[0][index["ttl_mean"]] == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for the 3k-dim feature space assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSpace, FeatureView
+from repro.embedding.line import LineConfig, LineEmbedding
+from repro.errors import DatasetError
+
+
+def embedding(kind, domains, dimension=4, fill=1.0):
+    vectors = np.full((len(domains), dimension), fill)
+    for row in range(len(domains)):
+        vectors[row] *= row + 1
+    return LineEmbedding(
+        kind=kind, domains=list(domains), vectors=vectors, config=LineConfig()
+    )
+
+
+@pytest.fixture()
+def space():
+    return FeatureSpace(
+        query=embedding("host", ["a.com", "b.com"], fill=1.0),
+        ip=embedding("ip", ["a.com"], fill=10.0),
+        temporal=embedding("time", ["a.com", "b.com", "c.com"], fill=100.0),
+    )
+
+
+class TestFeatureSpace:
+    def test_dimension_is_3k(self, space):
+        assert space.dimension == 12
+
+    def test_matrix_concatenates_views_in_order(self, space):
+        matrix = space.matrix(["a.com"])
+        assert matrix.shape == (1, 12)
+        assert np.all(matrix[0, :4] == 1.0)     # query block
+        assert np.all(matrix[0, 4:8] == 10.0)   # ip block
+        assert np.all(matrix[0, 8:] == 100.0)   # temporal block
+
+    def test_missing_view_membership_zero_filled(self, space):
+        matrix = space.matrix(["b.com"])
+        assert np.all(matrix[0, :4] == 2.0)    # present in query
+        assert np.all(matrix[0, 4:8] == 0.0)   # absent from ip view
+        assert np.all(matrix[0, 8:] == 200.0)
+
+    def test_single_view_selection(self, space):
+        matrix = space.matrix(["a.com", "b.com"], views=[FeatureView.IP])
+        assert matrix.shape == (2, 4)
+        assert np.all(matrix[1] == 0.0)
+
+    def test_empty_views_rejected(self, space):
+        with pytest.raises(DatasetError):
+            space.matrix(["a.com"], views=[])
+
+    def test_vector_equals_matrix_row(self, space):
+        assert np.array_equal(space.vector("c.com"), space.matrix(["c.com"])[0])
+
+    def test_known_domains_union(self, space):
+        assert space.known_domains == {"a.com", "b.com", "c.com"}
+
+    def test_coverage(self, space):
+        coverage = space.coverage(["a.com", "b.com", "c.com"])
+        assert coverage[FeatureView.QUERY] == pytest.approx(2 / 3)
+        assert coverage[FeatureView.IP] == pytest.approx(1 / 3)
+        assert coverage[FeatureView.TEMPORAL] == pytest.approx(1.0)
+
+    def test_coverage_empty(self, space):
+        coverage = space.coverage([])
+        assert all(v == 0.0 for v in coverage.values())

@@ -1,0 +1,103 @@
+"""Unit tests for cross-network verdict correlation (paper section 10)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.federation import (
+    CampaignMatch,
+    SiteVerdicts,
+    correlate_verdicts,
+    match_campaigns,
+)
+from repro.core.clustering import DomainCluster
+
+
+def cluster(cid, domains):
+    return DomainCluster(cid, list(domains), np.zeros(2))
+
+
+@pytest.fixture()
+def three_sites():
+    return [
+        SiteVerdicts(
+            site="campus-a",
+            scores={"evil.ws": 1.2, "benign.com": -0.9, "shared.bid": 0.4},
+            clusters=[cluster(0, ["evil.ws", "shared.bid", "evil2.ws"])],
+            domain_ips={"evil.ws": {"93.0.0.1"}, "shared.bid": {"93.0.0.2"}},
+        ),
+        SiteVerdicts(
+            site="campus-b",
+            scores={"evil.ws": 0.8, "benign.com": -1.1, "other.net": -0.2},
+            clusters=[cluster(0, ["evil.ws", "evil3.ws"])],
+            domain_ips={"evil.ws": {"93.0.0.1"}, "evil3.ws": {"93.0.0.1"}},
+        ),
+        SiteVerdicts(
+            site="campus-c",
+            scores={"shared.bid": 0.6, "benign.com": -0.7},
+            clusters=[cluster(0, ["shared.bid", "evil4.ws"])],
+            domain_ips={"shared.bid": {"93.0.0.2"}, "evil4.ws": {"93.0.0.2"}},
+        ),
+    ]
+
+
+class TestCorrelateVerdicts:
+    def test_multi_site_detection_ranks_first(self, three_sites):
+        verdicts = correlate_verdicts(three_sites)
+        assert verdicts[0].domain == "evil.ws"
+        assert verdicts[0].sites_flagged == 2
+
+    def test_benign_consensus_stays_negative(self, three_sites):
+        verdicts = {v.domain: v for v in correlate_verdicts(three_sites)}
+        benign = verdicts["benign.com"]
+        assert benign.sites_observed == 3
+        assert benign.sites_flagged == 0
+        assert benign.consensus_score < 0
+
+    def test_breadth_boost(self, three_sites):
+        verdicts = {v.domain: v for v in correlate_verdicts(three_sites)}
+        flagged = verdicts["evil.ws"]
+        assert flagged.consensus_score > flagged.mean_score
+
+    def test_single_site_domain_included(self, three_sites):
+        verdicts = {v.domain: v for v in correlate_verdicts(three_sites)}
+        assert verdicts["other.net"].sites_observed == 1
+
+    def test_empty_sites(self):
+        assert correlate_verdicts([]) == []
+
+
+class TestMatchCampaigns:
+    def test_shared_domain_plus_ip_matches(self, three_sites):
+        matches = match_campaigns(three_sites)
+        pairs = {(m.site_a, m.site_b) for m in matches}
+        # campus-a & campus-b share evil.ws + 93.0.0.1.
+        assert ("campus-a", "campus-b") in pairs
+        # campus-a & campus-c share shared.bid + 93.0.0.2.
+        assert ("campus-a", "campus-c") in pairs
+
+    def test_match_carries_evidence(self, three_sites):
+        matches = match_campaigns(three_sites)
+        best = matches[0]
+        assert best.evidence >= 2
+        assert best.shared_domains
+
+    def test_unrelated_clusters_do_not_match(self):
+        sites = [
+            SiteVerdicts("a", {}, [cluster(0, ["x.com", "y.com"])]),
+            SiteVerdicts("b", {}, [cluster(0, ["p.net", "q.net"])]),
+        ]
+        assert match_campaigns(sites) == []
+
+    def test_min_shared_domains_threshold(self):
+        sites = [
+            SiteVerdicts("a", {}, [cluster(0, ["x.com", "y.com"])]),
+            SiteVerdicts("b", {}, [cluster(0, ["x.com", "q.net"])]),
+        ]
+        # One shared domain, no IP overlap data: below default threshold.
+        assert match_campaigns(sites, min_shared_domains=2) == []
+        assert len(match_campaigns(sites, min_shared_domains=1)) == 1
+
+    def test_matches_sorted_by_evidence(self, three_sites):
+        matches = match_campaigns(three_sites, min_shared_domains=1)
+        evidences = [m.evidence for m in matches]
+        assert evidences == sorted(evidences, reverse=True)

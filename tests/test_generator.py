@@ -1,0 +1,102 @@
+"""Unit and integration tests for the end-to-end trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.dns.logfmt import DnsTraceReader
+from repro.dns.types import DnsQuery, DnsResponse
+from repro.simulation import SimulationConfig, TraceGenerator
+from repro.simulation.groundtruth import GroundTruth
+
+
+class TestTraceShape:
+    def test_queries_and_responses_pair_up(self, tiny_trace):
+        assert len(tiny_trace.queries) == len(tiny_trace.responses)
+
+    def test_queries_sorted_by_time(self, tiny_trace):
+        times = [q.timestamp for q in tiny_trace.queries]
+        assert times == sorted(times)
+
+    def test_timestamps_within_duration(self, tiny_trace):
+        duration = tiny_trace.config.duration_seconds
+        assert all(0 <= q.timestamp < duration for q in tiny_trace.queries)
+
+    def test_txids_match(self, tiny_trace):
+        for query, response in zip(tiny_trace.queries, tiny_trace.responses):
+            assert query.txid == response.txid
+            assert query.qname == response.qname
+            assert response.timestamp > query.timestamp
+
+    def test_response_goes_back_to_querier(self, tiny_trace):
+        for query, response in zip(
+            tiny_trace.queries[:500], tiny_trace.responses[:500]
+        ):
+            assert response.destination_ip == query.source_ip
+
+    def test_source_ips_are_campus(self, tiny_trace):
+        assert all(
+            q.source_ip.startswith("10.20.") for q in tiny_trace.queries[:500]
+        )
+
+
+class TestGroundTruthConsistency:
+    def test_malicious_domains_appear_in_trace(self, tiny_trace):
+        queried = {q.qname for q in tiny_trace.queries}
+        malicious = set(tiny_trace.ground_truth.malicious_domains)
+        seen = {d for d in malicious if d in queried}
+        assert len(seen) > len(malicious) * 0.5
+
+    def test_families_recorded(self, tiny_trace):
+        assert tiny_trace.families
+        for family, domains in tiny_trace.families.items():
+            assert domains
+            for domain in domains:
+                record = tiny_trace.ground_truth.get(domain)
+                assert record is not None and record.family == family
+
+    def test_nxdomain_only_for_unregistered(self, tiny_trace):
+        truth = tiny_trace.ground_truth
+        for response in tiny_trace.responses:
+            if response.nxdomain:
+                record = truth.get(response.qname)
+                # NXDOMAIN responses come only from unregistered DGA names
+                # (which are recorded as DGA ground truth).
+                assert record is not None and record.category.value == "dga"
+
+    def test_resolved_responses_carry_answers_and_ttls(self, tiny_trace):
+        for response in tiny_trace.responses[:2000]:
+            if not response.nxdomain:
+                assert response.answers
+                assert all(rr.ttl > 0 for rr in response.answers)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        config_a = SimulationConfig.tiny(seed=99)
+        config_b = SimulationConfig.tiny(seed=99)
+        trace_a = TraceGenerator(config_a).generate()
+        trace_b = TraceGenerator(config_b).generate()
+        assert len(trace_a.queries) == len(trace_b.queries)
+        assert trace_a.queries[:100] == trace_b.queries[:100]
+        assert trace_a.responses[:100] == trace_b.responses[:100]
+
+    def test_different_seed_different_trace(self):
+        trace_a = TraceGenerator(SimulationConfig.tiny(seed=1)).generate()
+        trace_b = TraceGenerator(SimulationConfig.tiny(seed=2)).generate()
+        assert trace_a.queries[:50] != trace_b.queries[:50]
+
+
+class TestPersistence:
+    def test_save_round_trip(self, tiny_trace, tmp_path):
+        tiny_trace.save(tmp_path)
+        records = list(DnsTraceReader(tmp_path / "dns.log"))
+        queries = [r for r in records if isinstance(r, DnsQuery)]
+        responses = [r for r in records if isinstance(r, DnsResponse)]
+        assert len(queries) == len(tiny_trace.queries)
+        assert len(responses) == len(tiny_trace.responses)
+        truth = GroundTruth.load(tmp_path / "groundtruth.tsv")
+        assert len(truth) == len(tiny_trace.ground_truth)
+
+    def test_metadata_description(self, tiny_trace):
+        assert "hosts" in tiny_trace.metadata.description
+        assert tiny_trace.metadata.host_count == 40

@@ -1,0 +1,118 @@
+"""Behavior-level tests for specific traffic models in the generator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import SimulationConfig, TraceGenerator
+from repro.simulation.config import SECONDS_PER_DAY
+from repro.simulation.groundtruth import DomainCategory
+
+
+@pytest.fixture(scope="module")
+def behavior_trace():
+    config = SimulationConfig.tiny(seed=13)
+    config.duration_days = 3.0
+    config.benign.background_service_count = 12
+    config.benign.services_per_host = 4
+    return TraceGenerator(config).generate()
+
+
+def queries_for(trace, domain):
+    return [q for q in trace.queries if q.qname.endswith(domain)]
+
+
+class TestBackgroundServices:
+    def test_services_present_in_truth(self, behavior_trace):
+        services = [
+            r.name
+            for r in behavior_trace.ground_truth
+            if r.family == "background-service"
+        ]
+        assert len(services) == 12
+
+    def test_services_polled_steadily(self, behavior_trace):
+        services = [
+            r.name
+            for r in behavior_trace.ground_truth
+            if r.family == "background-service"
+        ]
+        # At least one service is queried on every simulated day.
+        steady = 0
+        for service in services:
+            days = {
+                int(q.timestamp // SECONDS_PER_DAY)
+                for q in queries_for(behavior_trace, service)
+            }
+            if len(days) == 3:
+                steady += 1
+        assert steady >= len(services) // 2
+
+    def test_services_resolve(self, behavior_trace):
+        services = {
+            r.name
+            for r in behavior_trace.ground_truth
+            if r.family == "background-service"
+        }
+        resolved = {
+            r.qname.split(".", 1)[1] if r.qname.startswith("api.") else r.qname
+            for r in behavior_trace.responses
+            if not r.nxdomain
+        }
+        assert services & resolved
+
+
+class TestFlashCrowds:
+    def test_some_longtail_site_has_burst_day(self, behavior_trace):
+        """At least one long-tail site shows a dominant single day."""
+        longtail = [
+            r.name
+            for r in behavior_trace.ground_truth
+            if r.category is DomainCategory.LONGTAIL_SITE
+        ]
+        burst_found = False
+        for domain in longtail:
+            day_counts: dict[int, int] = {}
+            for q in queries_for(behavior_trace, domain):
+                day = int(q.timestamp // SECONDS_PER_DAY)
+                day_counts[day] = day_counts.get(day, 0) + 1
+            total = sum(day_counts.values())
+            if total >= 10 and max(day_counts.values()) / total > 0.7:
+                burst_found = True
+                break
+        assert burst_found
+
+
+class TestIotTraffic:
+    def test_iot_hosts_query_vendor_domains_only(self, behavior_trace):
+        iot_records = [
+            r for r in behavior_trace.ground_truth if r.family == "iot-vendor"
+        ]
+        assert iot_records
+        vendor_queries = [
+            q
+            for q in behavior_trace.queries
+            if any(q.qname.endswith(r.name) for r in iot_records)
+        ]
+        assert vendor_queries
+        # Vendor polling continues at night (IoT has no diurnal cycle).
+        night = [
+            q
+            for q in vendor_queries
+            if 2 <= (q.timestamp % SECONDS_PER_DAY) / 3600 < 5
+        ]
+        assert night
+
+
+class TestAccidentalContacts:
+    def test_clean_hosts_touch_malicious_domains_rarely(self):
+        config = SimulationConfig.tiny(seed=29)
+        config.malware.accidental_contact_rate = 0.05
+        trace = TraceGenerator(config).generate()
+        truth = trace.ground_truth
+        malicious = set(truth.malicious_domains)
+        hosts_touching = set()
+        for q in trace.queries:
+            if q.qname in malicious:
+                hosts_touching.add(q.source_ip)
+        # With a high accidental rate, many distinct source IPs appear.
+        assert len(hosts_touching) > 10

@@ -1,0 +1,96 @@
+"""Unit tests for the belief-propagation graph-inference baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.graph_inference import (
+    BeliefPropagationConfig,
+    GraphInferenceDetector,
+)
+from repro.errors import GraphConstructionError
+from repro.graphs.bipartite import BipartiteGraph
+
+
+@pytest.fixture()
+def two_community_graph():
+    """Infected hosts h0-h2 query bad domains; clean hosts the rest."""
+    graph = BipartiteGraph(kind="host")
+    bad = [f"bad{i}.ws" for i in range(6)]
+    good = [f"good{i}.com" for i in range(6)]
+    for domain in bad:
+        for host in ("h0", "h1", "h2"):
+            graph.add_edge(domain, host)
+    for domain in good:
+        for host in ("h3", "h4", "h5", "h6"):
+            graph.add_edge(domain, host)
+    # One bridge: a clean host occasionally touches one bad domain.
+    graph.add_edge("bad0.ws", "h3")
+    return graph, bad, good
+
+
+class TestGraphInference:
+    def test_beliefs_spread_from_seeds(self, two_community_graph):
+        graph, bad, good = two_community_graph
+        detector = GraphInferenceDetector().fit(
+            graph, seed_malicious={"bad0.ws"}, seed_benign={"good0.com"}
+        )
+        bad_scores = detector.scores(bad[1:])   # unseeded bad domains
+        good_scores = detector.scores(good[1:])  # unseeded good domains
+        assert bad_scores.mean() > good_scores.mean()
+
+    def test_seeded_domains_keep_strong_beliefs(self, two_community_graph):
+        graph, bad, good = two_community_graph
+        detector = GraphInferenceDetector().fit(
+            graph, seed_malicious={"bad0.ws"}, seed_benign={"good0.com"}
+        )
+        assert detector.scores(["bad0.ws"])[0] > 0.6
+        assert detector.scores(["good0.com"])[0] < 0.4
+
+    def test_unknown_domain_gets_base_rate(self, two_community_graph):
+        graph, __, __ = two_community_graph
+        config = BeliefPropagationConfig(base_rate=0.05)
+        detector = GraphInferenceDetector(config).fit(
+            graph, {"bad0.ws"}, set()
+        )
+        assert detector.scores(["never-seen.example"])[0] == 0.05
+
+    def test_converges_and_reports_iterations(self, two_community_graph):
+        graph, __, __ = two_community_graph
+        detector = GraphInferenceDetector().fit(graph, {"bad0.ws"}, set())
+        assert 1 <= detector.iterations_ <= 15
+
+    def test_no_seeds_gives_near_uniform(self, two_community_graph):
+        graph, bad, good = two_community_graph
+        detector = GraphInferenceDetector().fit(graph, set(), set())
+        scores = detector.scores(bad + good)
+        assert np.all(scores < 0.5)  # base-rate-dominated
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            GraphInferenceDetector().fit(
+                BipartiteGraph(kind="host"), set(), set()
+            )
+
+    def test_scores_before_fit_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            GraphInferenceDetector().scores(["a.com"])
+
+
+class TestConfigValidation:
+    def test_homophily_bounds(self):
+        with pytest.raises(ValueError):
+            BeliefPropagationConfig(homophily=0.5).validate()
+        with pytest.raises(ValueError):
+            BeliefPropagationConfig(homophily=1.0).validate()
+
+    def test_base_rate_bounds(self):
+        with pytest.raises(ValueError):
+            BeliefPropagationConfig(base_rate=0.0).validate()
+
+    def test_seed_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            BeliefPropagationConfig(seed_confidence=0.4).validate()
+
+    def test_iterations_bound(self):
+        with pytest.raises(ValueError):
+            BeliefPropagationConfig(max_iterations=0).validate()

@@ -1,0 +1,77 @@
+"""Unit tests for the grid-search utility."""
+
+import numpy as np
+import pytest
+
+from repro.ml.grid_search import grid_search
+from repro.ml.svm import SupportVectorClassifier
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    n = 120
+    features = np.vstack(
+        [rng.normal(-1, 0.8, size=(n, 2)), rng.normal(1, 0.8, size=(n, 2))]
+    )
+    labels = np.array([0] * n + [1] * n)
+    return features, labels
+
+
+class TestGridSearch:
+    def test_evaluates_every_cell(self, data):
+        features, labels = data
+        result = grid_search(
+            features,
+            labels,
+            lambda c, gamma: SupportVectorClassifier(c=c, gamma=gamma),
+            {"c": [0.1, 1.0], "gamma": [0.1, 1.0, 5.0]},
+            n_splits=3,
+        )
+        assert len(result.evaluations) == 6
+
+    def test_best_cell_is_maximal(self, data):
+        features, labels = data
+        result = grid_search(
+            features,
+            labels,
+            lambda c, gamma: SupportVectorClassifier(c=c, gamma=gamma),
+            {"c": [0.01, 1.0], "gamma": [0.5]},
+            n_splits=3,
+        )
+        scores = [score for __, score in result.evaluations]
+        assert result.best_score == max(scores)
+        assert result.best_params in [p for p, __ in result.evaluations]
+
+    def test_reasonable_params_beat_degenerate(self, data):
+        features, labels = data
+        # gamma so large the kernel degenerates to the identity matrix:
+        # the model memorizes training points and transfers nothing.
+        result = grid_search(
+            features,
+            labels,
+            lambda gamma: SupportVectorClassifier(c=1.0, gamma=gamma),
+            {"gamma": [0.5, 50_000.0]},
+            n_splits=3,
+        )
+        assert result.best_params["gamma"] == 0.5
+        by_gamma = {p["gamma"]: s for p, s in result.evaluations}
+        assert by_gamma[0.5] > by_gamma[50_000.0] + 0.2
+
+    def test_top_sorted(self, data):
+        features, labels = data
+        result = grid_search(
+            features,
+            labels,
+            lambda c: SupportVectorClassifier(c=c, gamma=0.5),
+            {"c": [0.01, 0.1, 1.0]},
+            n_splits=3,
+        )
+        top = result.top(3)
+        values = [score for __, score in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_grid_rejected(self, data):
+        features, labels = data
+        with pytest.raises(ValueError):
+            grid_search(features, labels, SupportVectorClassifier, {})

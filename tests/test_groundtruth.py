@@ -1,0 +1,67 @@
+"""Unit tests for ground-truth bookkeeping."""
+
+import pytest
+
+from repro.simulation.groundtruth import (
+    DomainCategory,
+    DomainRecord,
+    GroundTruth,
+)
+
+
+@pytest.fixture()
+def truth():
+    return GroundTruth(
+        [
+            DomainRecord("good.com", DomainCategory.POPULAR_SITE, "popular"),
+            DomainRecord("tail.net", DomainCategory.LONGTAIL_SITE, "longtail"),
+            DomainRecord("evil.ws", DomainCategory.DGA, "dga-0", 3.0),
+            DomainRecord("evil2.ws", DomainCategory.DGA, "dga-0", 4.0),
+            DomainRecord("cc.biz", DomainCategory.CNC, "cnc-0", 90.0),
+        ]
+    )
+
+
+class TestDomainCategory:
+    def test_malicious_categories(self):
+        assert DomainCategory.DGA.is_malicious
+        assert DomainCategory.SPAM.is_malicious
+        assert not DomainCategory.CDN.is_malicious
+        assert not DomainCategory.POPULAR_SITE.is_malicious
+
+
+class TestGroundTruth:
+    def test_lookup(self, truth):
+        assert truth.get("evil.ws").family == "dga-0"
+        assert truth.get("nope.com") is None
+        assert "good.com" in truth
+        assert len(truth) == 5
+
+    def test_is_malicious_unknown_defaults_benign(self, truth):
+        assert truth.is_malicious("evil.ws")
+        assert not truth.is_malicious("good.com")
+        assert not truth.is_malicious("unknown.example")
+
+    def test_partitions(self, truth):
+        assert set(truth.malicious_domains) == {"evil.ws", "evil2.ws", "cc.biz"}
+        assert set(truth.benign_domains) == {"good.com", "tail.net"}
+
+    def test_family_members(self, truth):
+        assert set(truth.family_members("dga-0")) == {"evil.ws", "evil2.ws"}
+        assert truth.families >= {"dga-0", "cnc-0"}
+
+    def test_duplicate_rejected(self, truth):
+        with pytest.raises(ValueError, match="duplicate"):
+            truth.add(DomainRecord("evil.ws", DomainCategory.SPAM, "x"))
+
+    def test_round_trip(self, truth, tmp_path):
+        path = tmp_path / "truth.tsv"
+        truth.save(path)
+        loaded = GroundTruth.load(path)
+        assert len(loaded) == len(truth)
+        assert loaded.get("evil.ws").category is DomainCategory.DGA
+        assert loaded.get("evil.ws").registration_age_days == 3.0
+
+    def test_record_raises_for_unknown(self, truth):
+        with pytest.raises(KeyError):
+            truth.record("unknown.example")

@@ -1,0 +1,106 @@
+"""Unit tests for the host-side projection and infected-group mining."""
+
+import pytest
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.host_projection import (
+    find_infected_host_groups,
+    project_hosts,
+    transpose_bipartite,
+)
+
+
+@pytest.fixture()
+def campus_graph():
+    """3 infected hosts share C&C domains; 3 clean hosts browse."""
+    graph = BipartiteGraph(kind="host")
+    for domain in ("cc1.ws", "cc2.ws", "cc3.ws"):
+        for host in ("h0", "h1", "h2"):
+            graph.add_edge(domain, host)
+    for domain in ("news.com", "shop.net", "mail.org"):
+        for host in ("h3", "h4", "h5"):
+            graph.add_edge(domain, host)
+    graph.add_edge("news.com", "h0")  # infected host also browses
+    return graph
+
+
+class TestTranspose:
+    def test_adjacency_swapped(self, campus_graph):
+        transposed = transpose_bipartite(campus_graph)
+        assert transposed.neighbors("h0") == {
+            "cc1.ws", "cc2.ws", "cc3.ws", "news.com",
+        }
+        assert transposed.domain_count == 6  # six hosts as left vertices
+
+    def test_edge_count_preserved(self, campus_graph):
+        assert (
+            transpose_bipartite(campus_graph).edge_count
+            == campus_graph.edge_count
+        )
+
+
+class TestProjectHosts:
+    def test_infected_hosts_are_similar(self, campus_graph):
+        similarity = project_hosts(campus_graph)
+        assert similarity.weight_between("h1", "h2") == pytest.approx(1.0)
+        # h0 browses too, so slightly less similar but still high.
+        assert similarity.weight_between("h0", "h1") == pytest.approx(3 / 4)
+
+    def test_clean_and_infected_disjoint(self, campus_graph):
+        similarity = project_hosts(campus_graph)
+        assert similarity.weight_between("h1", "h4") == 0.0
+
+    def test_browsing_bridge(self, campus_graph):
+        similarity = project_hosts(campus_graph)
+        # h0 and h3 share only news.com.
+        assert 0 < similarity.weight_between("h0", "h3") < 0.5
+
+
+class TestInfectedHostGroups:
+    def test_botnet_group_found(self, campus_graph):
+        groups = find_infected_host_groups(
+            campus_graph, ["cc1.ws", "cc2.ws", "cc3.ws"]
+        )
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.hosts == ["h0", "h1", "h2"]
+        assert group.shared_malicious_domains == ["cc1.ws", "cc2.ws", "cc3.ws"]
+        assert group.cohesion == pytest.approx(1.0)
+
+    def test_min_shared_domains_filters_accidental_contact(self, campus_graph):
+        campus_graph.add_edge("cc1.ws", "h5")  # one-off contact
+        groups = find_infected_host_groups(
+            campus_graph, ["cc1.ws", "cc2.ws", "cc3.ws"], min_shared_domains=2
+        )
+        assert groups[0].hosts == ["h0", "h1", "h2"]
+
+    def test_unknown_flagged_domains_ignored(self, campus_graph):
+        assert find_infected_host_groups(campus_graph, ["ghost.ws"]) == []
+
+    def test_empty_flag_list(self, campus_graph):
+        assert find_infected_host_groups(campus_graph, []) == []
+
+    def test_two_separate_botnets(self):
+        graph = BipartiteGraph(kind="host")
+        for domain in ("a1.ws", "a2.ws"):
+            for host in ("h0", "h1"):
+                graph.add_edge(domain, host)
+        for domain in ("b1.cc", "b2.cc"):
+            for host in ("h5", "h6", "h7"):
+                graph.add_edge(domain, host)
+        groups = find_infected_host_groups(
+            graph, ["a1.ws", "a2.ws", "b1.cc", "b2.cc"]
+        )
+        assert len(groups) == 2
+        assert groups[0].hosts == ["h5", "h6", "h7"]  # largest first
+        assert groups[1].hosts == ["h0", "h1"]
+
+    def test_on_simulated_trace(self, tiny_trace, processed_detector):
+        """Ground-truth infected hosts are recovered on the tiny trace."""
+        truth = tiny_trace.ground_truth
+        family = next(iter(tiny_trace.families))
+        flagged = tiny_trace.families[family]
+        groups = find_infected_host_groups(
+            processed_detector.host_domain, flagged, min_shared_domains=2
+        )
+        assert groups, "expected at least one infected host group"

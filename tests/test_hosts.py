@@ -1,0 +1,87 @@
+"""Unit tests for the host population and DHCP churn simulation."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import HostPopulationConfig, SECONDS_PER_DAY
+from repro.simulation.hosts import HostPopulation
+
+
+@pytest.fixture(scope="module")
+def population():
+    config = HostPopulationConfig(host_count=60)
+    return HostPopulation(
+        config, duration=3 * SECONDS_PER_DAY, rng=np.random.default_rng(3)
+    )
+
+
+class TestPopulationComposition:
+    def test_host_count_exact(self, population):
+        assert len(population.hosts) == 60
+
+    def test_macs_are_unique(self, population):
+        macs = {h.mac for h in population.hosts}
+        assert len(macs) == 60
+
+    def test_device_class_mix(self, population):
+        classes = {h.device_class for h in population.hosts}
+        assert classes == {"desktop", "laptop", "phone", "iot"}
+
+    def test_interactive_excludes_iot(self, population):
+        assert all(h.device_class != "iot" for h in population.interactive_hosts)
+        assert all(h.device_class == "iot" for h in population.iot_hosts)
+        total = len(population.interactive_hosts) + len(population.iot_hosts)
+        assert total == 60
+
+
+class TestLeases:
+    def test_every_host_covered_at_all_times(self, population):
+        for host in population.hosts:
+            for t in (0.0, 1e4, SECONDS_PER_DAY, 2.9 * SECONDS_PER_DAY):
+                assert host.ip_at(t) is not None
+
+    def test_leases_are_contiguous(self, population):
+        for host in population.hosts:
+            for (_, __, end_a), (_, start_b, __b) in zip(
+                host.leases, host.leases[1:]
+            ):
+                assert end_a == start_b
+
+    def test_no_concurrent_lease_sharing(self, population):
+        """No IP is held by two devices at overlapping times."""
+        intervals: dict[str, list[tuple[float, float]]] = {}
+        for host in population.hosts:
+            for ip, start, end in host.leases:
+                intervals.setdefault(ip, []).append((start, end))
+        for ip, spans in intervals.items():
+            spans.sort()
+            for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+                assert end_a <= start_b, f"overlapping leases on {ip}"
+
+    def test_phones_churn_more_than_desktops(self, population):
+        phone_leases = [
+            len(h.leases) for h in population.hosts if h.device_class == "phone"
+        ]
+        desktop_leases = [
+            len(h.leases) for h in population.hosts if h.device_class == "desktop"
+        ]
+        assert np.mean(phone_leases) > np.mean(desktop_leases)
+
+    def test_dhcp_log_matches_leases(self, population):
+        log = population.dhcp_log()
+        assert len(log) == sum(len(h.leases) for h in population.hosts)
+        assert log.macs == {h.mac for h in population.hosts}
+
+
+class TestSampling:
+    def test_sample_hosts_distinct(self, population, rng):
+        sample = population.sample_hosts(10, rng)
+        assert len({h.mac for h in sample}) == 10
+
+    def test_sample_capped_at_pool_size(self, population, rng):
+        sample = population.sample_hosts(10_000, rng)
+        assert len(sample) == len(population.interactive_hosts)
+
+    def test_sample_interactive_only_by_default(self, population, rng):
+        sample = population.sample_hosts(20, rng)
+        assert all(h.is_interactive for h in sample)

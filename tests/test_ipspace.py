@@ -1,0 +1,98 @@
+"""Unit tests for IP space allocation and rotating pools."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.ipspace import IpSpace, ProviderBlock, RotatingPool
+
+
+class TestProviderBlock:
+    def test_sequential_allocation(self):
+        block = ProviderBlock(name="x", base=0x5D000000, size=4)
+        ips = block.allocate_many(4)
+        assert len(set(ips)) == 4
+        assert ips[0] == "93.0.0.0"
+
+    def test_exhaustion_raises(self):
+        block = ProviderBlock(name="x", base=0x5D000000, size=1)
+        block.allocate()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            block.allocate()
+
+
+class TestIpSpace:
+    def test_blocks_never_overlap(self):
+        space = IpSpace()
+        a = space.new_block("a", size=4096).allocate_many(100)
+        b = space.new_block("b", size=4096).allocate_many(100)
+        assert not set(a) & set(b)
+
+    def test_duplicate_block_name_rejected(self):
+        space = IpSpace()
+        space.new_block("a")
+        with pytest.raises(ValueError, match="already exists"):
+            space.new_block("a")
+
+    def test_campus_ips_are_rfc1918(self):
+        space = IpSpace()
+        assert space.campus_ip(0).startswith("10.20.")
+        assert space.campus_ip(300) != space.campus_ip(0)
+
+    def test_block_lookup(self):
+        space = IpSpace()
+        block = space.new_block("cdn")
+        assert space.block("cdn") is block
+        assert space.block_names == ["cdn"]
+
+
+class TestRotatingPool:
+    @pytest.fixture()
+    def pool(self):
+        return RotatingPool(
+            addresses=[f"93.0.0.{i}" for i in range(32)],
+            rotation_period=300.0,
+            active_size=5,
+            seed=7,
+        )
+
+    def test_stable_within_period(self, pool):
+        assert pool.addresses_at(10.0) == pool.addresses_at(299.0)
+
+    def test_rotates_across_periods(self, pool):
+        first = set(pool.addresses_at(10.0))
+        later = {
+            address
+            for period in range(1, 10)
+            for address in pool.addresses_at(period * 300.0 + 1)
+        }
+        assert later != first  # the active set drifts over time
+
+    def test_active_size_respected(self, pool):
+        assert len(pool.addresses_at(0.0)) == 5
+
+    def test_active_size_capped_by_pool(self):
+        pool = RotatingPool(
+            addresses=["93.0.0.1", "93.0.0.2"],
+            rotation_period=60.0,
+            active_size=10,
+        )
+        assert len(pool.addresses_at(0.0)) == 2
+
+    def test_resolve_returns_active_address(self, pool, rng):
+        for __ in range(20):
+            assert pool.resolve(450.0, rng) in pool.addresses_at(450.0)
+
+    def test_empty_pool(self):
+        pool = RotatingPool(addresses=[], rotation_period=60.0, active_size=3)
+        assert pool.addresses_at(0.0) == []
+
+    def test_deterministic_for_seed(self):
+        args = dict(
+            addresses=[f"93.0.0.{i}" for i in range(16)],
+            rotation_period=60.0,
+            active_size=4,
+            seed=3,
+        )
+        assert RotatingPool(**args).addresses_at(120.0) == RotatingPool(
+            **args
+        ).addresses_at(120.0)

@@ -1,0 +1,71 @@
+"""Unit tests for kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+
+
+@pytest.fixture()
+def points(rng):
+    return rng.normal(size=(20, 5)), rng.normal(size=(8, 5))
+
+
+class TestRbfKernel:
+    def test_shape(self, points):
+        a, b = points
+        assert rbf_kernel(a, b).shape == (20, 8)
+
+    def test_self_similarity_is_one(self, points):
+        a, __ = points
+        assert np.allclose(np.diag(rbf_kernel(a, a)), 1.0)
+
+    def test_range(self, points):
+        a, b = points
+        values = rbf_kernel(a, b, gamma=0.5)
+        assert np.all(values > 0) and np.all(values <= 1)
+
+    def test_matches_direct_formula(self, points):
+        a, b = points
+        gamma = 0.3
+        direct = np.exp(
+            -gamma * np.sum((a[3] - b[5]) ** 2)
+        )
+        assert rbf_kernel(a, b, gamma=gamma)[3, 5] == pytest.approx(direct)
+
+    def test_symmetry(self, points):
+        a, __ = points
+        matrix = rbf_kernel(a, a)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_gamma_controls_locality(self, points):
+        a, b = points
+        wide = rbf_kernel(a, b, gamma=0.01)
+        narrow = rbf_kernel(a, b, gamma=10.0)
+        assert wide.mean() > narrow.mean()
+
+    def test_default_gamma_is_paper_value(self, points):
+        a, b = points
+        assert np.allclose(rbf_kernel(a, b), rbf_kernel(a, b, gamma=0.06))
+
+
+class TestLinearKernel:
+    def test_matches_dot_product(self, points):
+        a, b = points
+        assert np.allclose(linear_kernel(a, b), a @ b.T)
+
+
+class TestPolynomialKernel:
+    def test_matches_direct_formula(self, points):
+        a, b = points
+        expected = (0.5 * (a @ b.T) + 1.0) ** 3
+        assert np.allclose(
+            polynomial_kernel(a, b, degree=3, gamma=0.5, coef0=1.0), expected
+        )
+
+    def test_degree_one_with_zero_coef_is_scaled_linear(self, points):
+        a, b = points
+        assert np.allclose(
+            polynomial_kernel(a, b, degree=1, gamma=1.0, coef0=0.0),
+            linear_kernel(a, b),
+        )

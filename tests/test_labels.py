@@ -1,0 +1,204 @@
+"""Unit tests for the simulated label sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.labels.dataset import build_labeled_dataset, LabeledDataset
+from repro.labels.intelligence import IntelligenceFeed, IntelligenceFeedConfig
+from repro.labels.threatbook import SimulatedThreatBook
+from repro.labels.virustotal import (
+    SimulatedVirusTotal,
+    VirusTotalConfig,
+)
+from repro.simulation.groundtruth import (
+    DomainCategory,
+    DomainRecord,
+    GroundTruth,
+)
+
+
+@pytest.fixture(scope="module")
+def truth():
+    records = []
+    for i in range(400):
+        records.append(
+            DomainRecord(
+                f"benign{i}.com", DomainCategory.LONGTAIL_SITE, "longtail", 1000.0
+            )
+        )
+    for i in range(100):
+        records.append(
+            DomainRecord(f"evil{i}.ws", DomainCategory.DGA, "dga-0", 20.0)
+        )
+    for i in range(30):
+        records.append(
+            DomainRecord(f"fresh{i}.bid", DomainCategory.SPAM, "spam-0", 1.0)
+        )
+    return GroundTruth(records)
+
+
+class TestIntelligenceFeed:
+    def test_coverage_roughly_matches_config(self, truth):
+        feed = IntelligenceFeed(
+            truth,
+            IntelligenceFeedConfig(
+                malicious_coverage=0.8, benign_coverage=0.5, age_bias=0.0
+            ),
+        )
+        malicious = set(truth.malicious_domains)
+        blacklisted_malicious = len(feed.blacklist & malicious)
+        assert 0.65 * len(malicious) < blacklisted_malicious < 0.95 * len(malicious)
+        assert 0.35 * 400 < len(feed.whitelist) < 0.65 * 400
+
+    def test_age_bias_hurts_fresh_domains(self, truth):
+        feed = IntelligenceFeed(
+            truth,
+            IntelligenceFeedConfig(malicious_coverage=0.9, age_bias=1.0, seed=5),
+        )
+        fresh = {f"fresh{i}.bid" for i in range(30)}
+        old = {f"evil{i}.ws" for i in range(100)}
+        fresh_rate = len(feed.blacklist & fresh) / len(fresh)
+        old_rate = len(feed.blacklist & old) / len(old)
+        assert fresh_rate < old_rate
+
+    def test_whitelist_and_blacklist_disjoint_for_benign(self, truth):
+        feed = IntelligenceFeed(truth)
+        assert not feed.whitelist & set(truth.malicious_domains)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            IntelligenceFeedConfig(malicious_coverage=1.5).validate()
+
+
+class TestSimulatedVirusTotal:
+    def test_reports_are_deterministic(self, truth):
+        vt = SimulatedVirusTotal(truth)
+        first = vt.query("evil0.ws")
+        second = vt.query("evil0.ws")
+        assert first == second
+        assert vt.query_count == 2
+
+    def test_malicious_flagged_more_than_benign(self, truth):
+        vt = SimulatedVirusTotal(truth)
+        malicious_hits = np.mean(
+            [vt.query(f"evil{i}.ws").positives for i in range(100)]
+        )
+        benign_hits = np.mean(
+            [vt.query(f"benign{i}.com").positives for i in range(100)]
+        )
+        assert malicious_hits > 10 * max(benign_hits, 0.1)
+
+    def test_unknown_domains_look_benign(self, truth):
+        vt = SimulatedVirusTotal(truth)
+        assert vt.query("never-seen.example").positives <= 2
+
+    def test_confirmation_rule(self, truth):
+        vt = SimulatedVirusTotal(truth)
+        confirmed = sum(vt.is_confirmed(f"evil{i}.ws") for i in range(100))
+        assert confirmed > 60  # most old malicious domains confirm
+        false_confirms = sum(
+            vt.is_confirmed(f"benign{i}.com") for i in range(200)
+        )
+        assert false_confirms < 10
+
+    def test_young_domains_confirm_less(self, truth):
+        vt = SimulatedVirusTotal(truth)
+        fresh_confirm = np.mean(
+            [vt.is_confirmed(f"fresh{i}.bid") for i in range(30)]
+        )
+        old_confirm = np.mean(
+            [vt.is_confirmed(f"evil{i}.ws") for i in range(100)]
+        )
+        assert fresh_confirm < old_confirm
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            VirusTotalConfig(engines=0).validate()
+        with pytest.raises(ValueError):
+            VirusTotalConfig(benign_fp_rate=2.0).validate()
+
+
+class TestSimulatedThreatBook:
+    def test_reports_only_for_malicious(self, truth):
+        threatbook = SimulatedThreatBook(truth, coverage=1.0)
+        assert threatbook.report("evil0.ws") is not None
+        assert threatbook.report("benign0.com") is None
+
+    def test_report_carries_category_and_family(self, truth):
+        threatbook = SimulatedThreatBook(truth, coverage=1.0)
+        report = threatbook.report("fresh0.bid")
+        assert report.category == "spam"
+        assert report.family == "spam-0"
+
+    def test_coverage_partial(self, truth):
+        threatbook = SimulatedThreatBook(truth, coverage=0.5, seed=1)
+        known = sum(
+            threatbook.report(f"evil{i}.ws") is not None for i in range(100)
+        )
+        assert 30 < known < 70
+
+    def test_dominant_category(self, truth):
+        threatbook = SimulatedThreatBook(truth, coverage=1.0)
+        domains = [f"evil{i}.ws" for i in range(10)] + ["benign0.com"]
+        category, share = threatbook.dominant_category(domains)
+        assert category == "dga"
+        assert share == pytest.approx(10 / 11)
+
+    def test_dominant_category_empty(self, truth):
+        threatbook = SimulatedThreatBook(truth)
+        assert threatbook.dominant_category([]) == ("unknown", 0.0)
+
+
+class TestBuildLabeledDataset:
+    def test_composition_rule(self, truth):
+        feed = IntelligenceFeed(truth)
+        vt = SimulatedVirusTotal(truth)
+        eligible = [r.name for r in truth]
+        dataset = build_labeled_dataset(feed, vt, eligible)
+        assert len(dataset) > 50
+        assert 0.25 < dataset.malicious_fraction < 0.40
+
+    def test_rejected_domains_tracked(self, truth):
+        feed = IntelligenceFeed(truth)
+        vt = SimulatedVirusTotal(truth)
+        dataset = build_labeled_dataset(feed, vt, [r.name for r in truth])
+        # Blind spots + young domains get rejected by the VT rule.
+        for domain in dataset.rejected_by_virustotal:
+            assert feed.is_blacklisted(domain)
+            assert not vt.is_confirmed(domain)
+
+    def test_eligibility_respected(self, truth):
+        feed = IntelligenceFeed(truth)
+        vt = SimulatedVirusTotal(truth)
+        eligible = ["evil0.ws", "evil1.ws", "benign0.com", "benign1.com"]
+        dataset = build_labeled_dataset(
+            feed, vt, eligible, target_malicious_fraction=None
+        )
+        assert set(dataset.domains) <= set(eligible)
+
+    def test_no_coverage_raises(self, truth):
+        feed = IntelligenceFeed(truth)
+        vt = SimulatedVirusTotal(truth)
+        with pytest.raises(DatasetError):
+            build_labeled_dataset(feed, vt, ["unknown1.xx", "unknown2.xx"])
+
+    def test_labels_match_partition_properties(self, truth):
+        feed = IntelligenceFeed(truth)
+        vt = SimulatedVirusTotal(truth)
+        dataset = build_labeled_dataset(feed, vt, [r.name for r in truth])
+        assert dataset.malicious_count == len(dataset.malicious_domains)
+        assert dataset.benign_count == len(dataset.benign_domains)
+        assert dataset.malicious_count + dataset.benign_count == len(dataset)
+
+    def test_subset(self, truth):
+        feed = IntelligenceFeed(truth)
+        vt = SimulatedVirusTotal(truth)
+        dataset = build_labeled_dataset(feed, vt, [r.name for r in truth])
+        subset = dataset.subset(np.array([0, 1, 2]))
+        assert len(subset) == 3
+        assert subset.domains == dataset.domains[:3]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DatasetError):
+            LabeledDataset(domains=["a.com"], labels=np.array([0, 1]))

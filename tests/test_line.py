@@ -1,0 +1,148 @@
+"""Unit tests for the LINE graph embedding."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.line import LineConfig, train_line
+from repro.errors import EmbeddingError
+from repro.graphs.projection import SimilarityGraph
+
+
+def two_cliques_graph(noise_edges=0):
+    """Two 6-node cliques (weight 1.0) joined by a weak bridge."""
+    domains = [f"a{i}" for i in range(6)] + [f"b{i}" for i in range(6)]
+    rows, cols, weights = [], [], []
+    for block, offset in (("a", 0), ("b", 6)):
+        for i in range(6):
+            for j in range(i + 1, 6):
+                rows.append(offset + i)
+                cols.append(offset + j)
+                weights.append(1.0)
+    rows.append(0)
+    cols.append(6)
+    weights.append(0.02)  # weak bridge
+    return SimilarityGraph(
+        kind="host",
+        domains=domains,
+        rows=np.array(rows),
+        cols=np.array(cols),
+        weights=np.array(weights),
+    )
+
+
+def _clique_distances(vectors):
+    """(within, across) pairwise distances for the two-clique layout."""
+    within, across = [], []
+    for i in range(12):
+        for j in range(i + 1, 12):
+            distance = np.linalg.norm(vectors[i] - vectors[j])
+            (within if (i < 6) == (j < 6) else across).append(distance)
+    return within, across
+
+
+@pytest.fixture(scope="module")
+def clique_embedding():
+    return train_line(
+        two_cliques_graph(),
+        LineConfig(dimension=16, total_samples=150_000, seed=3),
+    )
+
+
+class TestTrainLine:
+    def test_shapes(self, clique_embedding):
+        assert clique_embedding.vectors.shape == (12, 16)
+        assert clique_embedding.dimension == 16
+        assert len(clique_embedding.domains) == 12
+
+    def test_vectors_normalized_to_scale(self, clique_embedding):
+        norms = np.linalg.norm(clique_embedding.vectors, axis=1)
+        assert np.allclose(norms, clique_embedding.config.vector_scale)
+
+    def test_cliques_separate_in_embedding_space(self, clique_embedding):
+        """Nodes of the same clique must be closer than across cliques."""
+        within, across = _clique_distances(clique_embedding.vectors)
+        assert np.mean(within) < 0.85 * np.mean(across)
+
+    def test_first_order_separates_cliques_sharply(self):
+        embedding = train_line(
+            two_cliques_graph(),
+            LineConfig(
+                dimension=16, order="first", total_samples=150_000, seed=3
+            ),
+        )
+        within, across = _clique_distances(embedding.vectors)
+        assert np.mean(within) < 0.2 * np.mean(across)
+
+    def test_deterministic_for_seed(self):
+        graph = two_cliques_graph()
+        config = LineConfig(dimension=8, total_samples=30_000, seed=11)
+        first = train_line(graph, config)
+        second = train_line(graph, config)
+        assert np.array_equal(first.vectors, second.vectors)
+
+    def test_orders_first_and_second(self):
+        graph = two_cliques_graph()
+        for order in ("first", "second"):
+            embedding = train_line(
+                graph,
+                LineConfig(dimension=8, order=order, total_samples=30_000),
+            )
+            assert embedding.vectors.shape == (12, 8)
+
+    def test_empty_graph_raises(self):
+        empty = SimilarityGraph(
+            kind="ip",
+            domains=[],
+            rows=np.empty(0, dtype=int),
+            cols=np.empty(0, dtype=int),
+            weights=np.empty(0),
+        )
+        with pytest.raises(EmbeddingError, match="empty graph"):
+            train_line(empty)
+
+    def test_edgeless_graph_gives_zero_vectors(self):
+        graph = SimilarityGraph(
+            kind="ip",
+            domains=["a.com", "b.com"],
+            rows=np.empty(0, dtype=int),
+            cols=np.empty(0, dtype=int),
+            weights=np.empty(0),
+        )
+        embedding = train_line(graph, LineConfig(dimension=8))
+        assert np.all(embedding.vectors == 0)
+
+
+class TestLineConfigValidation:
+    def test_odd_dimension_with_both_rejected(self):
+        with pytest.raises(EmbeddingError, match="even"):
+            LineConfig(dimension=15, order="both").validate()
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(EmbeddingError, match="order"):
+            LineConfig(order="third").validate()
+
+    def test_bad_dimension(self):
+        with pytest.raises(EmbeddingError):
+            LineConfig(dimension=1).validate()
+
+    def test_resolved_samples_scales_with_edges(self):
+        config = LineConfig()
+        assert config.resolved_samples(10) == 400_000  # floor
+        assert config.resolved_samples(10_000_000) == 15_000_000  # cap
+        config_fixed = LineConfig(total_samples=1234)
+        assert config_fixed.resolved_samples(10) == 1234
+
+
+class TestLineEmbeddingApi:
+    def test_vector_lookup(self, clique_embedding):
+        vector = clique_embedding.vector("a0")
+        assert vector.shape == (16,)
+
+    def test_unknown_domain_gives_zero_vector(self, clique_embedding):
+        assert np.all(clique_embedding.vector("unknown.com") == 0)
+
+    def test_matrix_preserves_order(self, clique_embedding):
+        matrix = clique_embedding.matrix(["b0", "a0", "ghost"])
+        assert np.array_equal(matrix[0], clique_embedding.vector("b0"))
+        assert np.array_equal(matrix[1], clique_embedding.vector("a0"))
+        assert np.all(matrix[2] == 0)

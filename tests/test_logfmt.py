@@ -1,0 +1,110 @@
+"""Unit tests for the DNS trace log format (round-trips and errors)."""
+
+import io
+
+import pytest
+
+from repro.dns.logfmt import (
+    DnsTraceReader,
+    DnsTraceWriter,
+    format_query,
+    format_response,
+)
+from repro.dns.types import DnsQuery, DnsResponse, QueryType, ResourceRecord
+from repro.errors import DnsLogFormatError
+
+
+@pytest.fixture()
+def sample_records():
+    return [
+        DnsQuery(1.25, 100, "10.20.0.5", "www.example.com", QueryType.A),
+        DnsResponse(
+            1.30,
+            100,
+            "10.20.0.5",
+            "www.example.com",
+            answers=(
+                ResourceRecord(QueryType.A, "93.0.0.1", 300),
+                ResourceRecord(QueryType.A, "93.0.0.2", 300),
+            ),
+        ),
+        DnsQuery(2.0, 101, "10.20.0.6", "missing.example.net", QueryType.AAAA),
+        DnsResponse(2.1, 101, "10.20.0.6", "missing.example.net", nxdomain=True),
+    ]
+
+
+class TestRoundTrip:
+    def test_memory_round_trip(self, sample_records):
+        buffer = io.StringIO()
+        writer = DnsTraceWriter(buffer)
+        assert writer.write_all(sample_records) == 4
+        buffer.seek(0)
+        parsed = list(DnsTraceReader(buffer))
+        assert parsed == sample_records
+
+    def test_file_round_trip(self, sample_records, tmp_path):
+        path = tmp_path / "dns.log"
+        with DnsTraceWriter(path) as writer:
+            writer.write_all(sample_records)
+        assert list(DnsTraceReader(path)) == sample_records
+
+    def test_queries_and_responses_filters(self, sample_records, tmp_path):
+        path = tmp_path / "dns.log"
+        with DnsTraceWriter(path) as writer:
+            writer.write_all(sample_records)
+        reader = DnsTraceReader(path)
+        assert len(list(reader.queries())) == 2
+        assert len(list(reader.responses())) == 2
+
+    def test_comments_and_blank_lines_skipped(self, sample_records):
+        text = (
+            "# a comment\n\n"
+            + format_query(sample_records[0])
+            + "\n\n# another\n"
+            + format_response(sample_records[1])
+            + "\n"
+        )
+        parsed = list(DnsTraceReader(io.StringIO(text)))
+        assert parsed == sample_records[:2]
+
+
+class TestFormat:
+    def test_query_line_shape(self, sample_records):
+        line = format_query(sample_records[0])
+        assert line.split("\t") == [
+            "Q", "1.250", "100", "10.20.0.5", "www.example.com", "A",
+        ]
+
+    def test_nxdomain_line_shape(self, sample_records):
+        line = format_response(sample_records[3])
+        assert line.endswith("NXDOMAIN")
+
+    def test_writer_rejects_foreign_types(self):
+        writer = DnsTraceWriter(io.StringIO())
+        with pytest.raises(TypeError):
+            writer.write("not a record")  # type: ignore[arg-type]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "Q\t1.0\t5\t10.0.0.1\texample.com",  # missing field
+            "Q\t1.0\txx\t10.0.0.1\texample.com\tA",  # bad txid
+            "Q\t1.0\t5\t10.0.0.1\texample.com\tBOGUS",  # bad qtype
+            "R\t1.0\t5\t10.0.0.1\texample.com\tA:1.2.3.4",  # bad answer
+            "R\t1.0\t5\t10.0.0.1\texample.com\tA:1.2.3.4:-1",  # bad ttl
+            "X\t1.0\t5\t10.0.0.1\texample.com\tA",  # unknown kind
+        ],
+    )
+    def test_malformed_lines_raise_with_line_number(self, line):
+        with pytest.raises(DnsLogFormatError) as excinfo:
+            list(DnsTraceReader(io.StringIO(line + "\n")))
+        assert excinfo.value.line_number == 1
+
+    def test_error_reports_correct_line_number(self):
+        good = "Q\t1.0\t5\t10.0.0.1\texample.com\tA\n"
+        bad = "Q\tbroken\n"
+        with pytest.raises(DnsLogFormatError) as excinfo:
+            list(DnsTraceReader(io.StringIO(good + good + bad)))
+        assert excinfo.value.line_number == 3

@@ -1,0 +1,124 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    auc,
+    confusion_matrix,
+    f1_score,
+    mean_roc_curve,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestRocCurve:
+    def test_perfect_classifier(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        assert roc_auc_score(labels, scores) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_inverted_classifier(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.uniform(size=5000)
+        assert abs(roc_auc_score(labels, scores) - 0.5) < 0.03
+
+    def test_auc_equals_rank_probability(self):
+        """AUC == P(score_pos > score_neg), the Mann-Whitney identity."""
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=300)
+        scores = rng.normal(size=300) + labels * 0.8
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        greater = np.mean(positives[:, None] > negatives[None, :])
+        ties = np.mean(positives[:, None] == negatives[None, :])
+        assert roc_auc_score(labels, scores) == pytest.approx(
+            greater + ties / 2, abs=1e-9
+        )
+
+    def test_tied_scores_handled(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="positive and negative"):
+            roc_curve(np.ones(5), np.zeros(5))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            roc_curve(np.array([0, 1, 2]), np.zeros(3))
+
+    def test_monotone_curve(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, size=200)
+        scores = rng.normal(size=200)
+        fpr, tpr, __ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+
+class TestAuc:
+    def test_unit_triangle(self):
+        assert auc(np.array([0, 1]), np.array([0, 1])) == pytest.approx(0.5)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.0]), np.array([0.0]))
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(ValueError, match="monotonic"):
+            auc(np.array([0.0, 1.0, 0.5]), np.array([0.0, 1.0, 1.0]))
+
+
+class TestPointMetrics:
+    def test_confusion_matrix_layout(self):
+        labels = np.array([0, 0, 1, 1, 1])
+        predictions = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(labels, predictions)
+        assert matrix.tolist() == [[1, 1], [1, 2]]
+
+    def test_precision_recall_f1(self):
+        labels = np.array([0, 0, 1, 1, 1])
+        predictions = np.array([0, 1, 1, 1, 0])
+        assert precision_score(labels, predictions) == pytest.approx(2 / 3)
+        assert recall_score(labels, predictions) == pytest.approx(2 / 3)
+        assert f1_score(labels, predictions) == pytest.approx(2 / 3)
+
+    def test_degenerate_precision(self):
+        labels = np.array([1, 1, 0])
+        predictions = np.zeros(3, dtype=int)
+        assert precision_score(labels, predictions) == 0.0
+        assert f1_score(labels, predictions) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 0, 1]), np.array([1, 1, 1])) == (
+            pytest.approx(2 / 3)
+        )
+
+
+class TestMeanRocCurve:
+    def test_average_of_identical_curves(self):
+        fpr = np.array([0.0, 0.5, 1.0])
+        tpr = np.array([0.0, 0.8, 1.0])
+        grid, mean_tpr = mean_roc_curve([(fpr, tpr), (fpr, tpr)])
+        assert grid.size == mean_tpr.size
+        assert np.interp(0.5, grid, mean_tpr) == pytest.approx(0.8, abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_roc_curve([])

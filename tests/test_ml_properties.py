@@ -1,0 +1,110 @@
+"""Property-based tests for the ML substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.kernels import rbf_kernel
+from repro.ml.kmeans import KMeans
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@st.composite
+def small_dataset(draw):
+    n = draw(st.integers(min_value=8, max_value=40))
+    d = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, d))
+    labels = draw(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=n, max_size=n)
+        .filter(lambda ls: 0 < sum(ls) < len(ls))
+    )
+    return features, np.array(labels)
+
+
+class TestKernelProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=30)
+    def test_rbf_gram_matrix_is_psd(self, seed, gamma):
+        """RBF Gram matrices are positive semi-definite (Mercer)."""
+        points = np.random.default_rng(seed).normal(size=(15, 3))
+        gram = rbf_kernel(points, points, gamma=gamma)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-8
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30)
+    def test_rbf_bounded_and_symmetric(self, seed):
+        points = np.random.default_rng(seed).normal(size=(12, 2))
+        gram = rbf_kernel(points, points)
+        assert np.all(gram <= 1.0 + 1e-12)
+        assert np.all(gram > 0.0)
+        assert np.allclose(gram, gram.T)
+
+
+class TestTreeProperties:
+    @given(small_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_are_training_classes(self, data):
+        features, labels = data
+        tree = DecisionTreeClassifier().fit(features, labels)
+        predictions = tree.predict(features)
+        assert set(np.unique(predictions)) <= set(np.unique(labels))
+
+    @given(small_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_probabilities_valid(self, data):
+        features, labels = data
+        tree = DecisionTreeClassifier().fit(features, labels)
+        probabilities = tree.predict_proba(features)
+        assert np.all(probabilities >= 0)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    @given(small_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_unpruned_tree_at_least_as_deep(self, data):
+        features, labels = data
+        pruned = DecisionTreeClassifier(confidence=0.25).fit(features, labels)
+        unpruned = DecisionTreeClassifier(confidence=None).fit(features, labels)
+        assert pruned.node_count <= unpruned.node_count
+
+
+class TestKMeansProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_more_clusters_never_increase_inertia(self, seed, k):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(30, 2))
+        inertia_k = KMeans(n_clusters=k, seed=1).fit(data).inertia_
+        inertia_k1 = KMeans(n_clusters=k + 1, seed=1).fit(data).inertia_
+        # k-means++ with restarts: adding a cluster should not make the
+        # best found solution meaningfully worse.
+        assert inertia_k1 <= inertia_k * 1.05 + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_labels_within_range(self, seed):
+        data = np.random.default_rng(seed).normal(size=(20, 3))
+        model = KMeans(n_clusters=3, seed=0).fit(data)
+        assert set(np.unique(model.labels_)) <= {0, 1, 2}
+
+
+class TestScalerProperties:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.floats(min_value=-1e3, max_value=1e3),
+        st.floats(min_value=0.01, max_value=1e3),
+    )
+    @settings(max_examples=30)
+    def test_affine_invariance_of_output(self, rows, seed, shift, scale):
+        """Scaling output is identical for affinely transformed input."""
+        data = np.random.default_rng(seed).normal(size=(rows, 2))
+        direct = StandardScaler().fit_transform(data)
+        transformed = StandardScaler().fit_transform(data * scale + shift)
+        assert np.allclose(direct, transformed, atol=1e-6)

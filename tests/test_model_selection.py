@@ -1,0 +1,125 @@
+"""Unit tests for cross-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validated_scores,
+    train_test_split,
+)
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = list(KFold(n_splits=5, seed=1).split(53))
+        assert len(folds) == 5
+        all_test = np.concatenate([test for __, test in folds])
+        assert sorted(all_test) == list(range(53))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(n_splits=4, seed=2).split(40):
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == 40
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_deterministic(self):
+        a = [test.tolist() for __, test in KFold(5, seed=3).split(30)]
+        b = [test.tolist() for __, test in KFold(5, seed=3).split(30)]
+        assert a == b
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestStratifiedKFold:
+    def test_class_ratio_preserved(self):
+        labels = np.array([0] * 70 + [1] * 30)
+        for __, test in StratifiedKFold(n_splits=10, seed=1).split(labels):
+            positives = labels[test].sum()
+            assert positives == 3  # 30/10 per fold
+
+    def test_partition_complete(self):
+        labels = np.array([0] * 25 + [1] * 25)
+        folds = list(StratifiedKFold(n_splits=5, seed=1).split(labels))
+        all_test = np.concatenate([test for __, test in folds])
+        assert sorted(all_test) == list(range(50))
+
+    def test_class_smaller_than_splits_rejected(self):
+        labels = np.array([0] * 20 + [1] * 3)
+        with pytest.raises(ValueError, match="fewer than"):
+            list(StratifiedKFold(n_splits=5).split(labels))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        features = np.arange(100).reshape(100, 1)
+        labels = np.array([0] * 60 + [1] * 40)
+        train_x, test_x, train_y, test_y = train_test_split(
+            features, labels, test_fraction=0.25, seed=1
+        )
+        assert len(test_y) == 25
+        assert len(train_y) == 75
+
+    def test_stratified_preserves_ratio(self):
+        features = np.zeros((100, 1))
+        labels = np.array([0] * 80 + [1] * 20)
+        __, __, __, test_y = train_test_split(
+            features, labels, test_fraction=0.5, stratify=True, seed=0
+        )
+        assert test_y.sum() == 10
+
+    def test_no_leakage(self):
+        features = np.arange(50).reshape(50, 1)
+        labels = np.array([0, 1] * 25)
+        train_x, test_x, __, __ = train_test_split(features, labels, seed=3)
+        assert not set(train_x.ravel()) & set(test_x.ravel())
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.0)
+
+
+class _MeanModel:
+    """Scores each sample by its first feature (no learning needed)."""
+
+    def fit(self, features, labels):
+        return self
+
+    def decision_function(self, features):
+        return features[:, 0]
+
+
+class TestCrossValidatedScores:
+    def test_every_sample_scored_once(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(60, 2))
+        labels = np.array([0, 1] * 30)
+        scores, fold_ids = cross_validated_scores(
+            features, labels, _MeanModel, n_splits=5
+        )
+        assert scores.shape == (60,)
+        # With the pass-through model, scores equal the first feature.
+        assert np.allclose(scores, features[:, 0])
+        assert set(fold_ids) == set(range(5))
+
+    def test_proba_fallback(self):
+        class ProbaModel:
+            def fit(self, features, labels):
+                return self
+
+            def predict_proba(self, features):
+                p = np.clip(features[:, 0], 0, 1)
+                return np.column_stack([1 - p, p])
+
+        features = np.random.default_rng(1).uniform(size=(40, 1))
+        labels = np.array([0, 1] * 20)
+        scores, __ = cross_validated_scores(
+            features, labels, ProbaModel, n_splits=4
+        )
+        assert np.allclose(scores, features[:, 0])

@@ -1,0 +1,119 @@
+"""Unit tests for the netflow substrate and pattern mining."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import DomainCluster
+from repro.dns.types import DnsResponse, QueryType, ResourceRecord
+from repro.netflow.flows import FlowRecord, NetflowSimulator
+from repro.netflow.patterns import (
+    mine_cluster_patterns,
+    shared_infrastructure_index,
+)
+from repro.simulation.groundtruth import (
+    DomainCategory,
+    DomainRecord,
+    GroundTruth,
+)
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return GroundTruth(
+        [
+            DomainRecord("spam1.bid", DomainCategory.SPAM, "spam-0"),
+            DomainRecord("spam2.bid", DomainCategory.SPAM, "spam-0"),
+            DomainRecord("good.com", DomainCategory.LONGTAIL_SITE, "longtail"),
+        ]
+    )
+
+
+def resolved(t, qname, ip, dest="10.20.0.5"):
+    return DnsResponse(
+        t, 1, dest, qname,
+        answers=(ResourceRecord(QueryType.A, ip, 300),),
+    )
+
+
+class TestNetflowSimulator:
+    def test_malicious_resolutions_always_produce_flows(self, truth):
+        simulator = NetflowSimulator(truth, benign_sampling_rate=0.0)
+        responses = [
+            resolved(float(i), "spam1.bid", "93.0.0.1") for i in range(20)
+        ]
+        flows = list(simulator.flows_from(responses))
+        assert len(flows) == 20
+        assert all(flow.domain == "spam1.bid" for flow in flows)
+
+    def test_spam_ports_match_paper_example(self, truth):
+        simulator = NetflowSimulator(truth, benign_sampling_rate=0.0, seed=3)
+        responses = [
+            resolved(float(i), "spam1.bid", "93.0.0.1") for i in range(300)
+        ]
+        ports = {flow.dst_port for flow in simulator.flows_from(responses)}
+        assert ports == {80, 1337, 2710}
+
+    def test_benign_sampled(self, truth):
+        simulator = NetflowSimulator(truth, benign_sampling_rate=0.5, seed=1)
+        responses = [
+            resolved(float(i), "www.good.com", "93.0.0.9") for i in range(400)
+        ]
+        flows = list(simulator.flows_from(responses))
+        assert 100 < len(flows) < 300  # ~50% sampling
+        assert all(flow.dst_port in (80, 443) for flow in flows)
+
+    def test_nxdomain_produces_no_flow(self, truth):
+        simulator = NetflowSimulator(truth)
+        response = DnsResponse(1.0, 1, "10.20.0.5", "spam1.bid", nxdomain=True)
+        assert list(simulator.flows_from([response])) == []
+
+    def test_flow_goes_to_resolved_ip(self, truth):
+        simulator = NetflowSimulator(truth, seed=2)
+        flows = list(
+            simulator.flows_from([resolved(1.0, "spam2.bid", "93.0.0.77")])
+        )
+        assert flows[0].dst_ip == "93.0.0.77"
+        assert flows[0].src_ip == "10.20.0.5"
+
+    def test_invalid_sampling_rate(self, truth):
+        with pytest.raises(ValueError):
+            NetflowSimulator(truth, benign_sampling_rate=1.5)
+
+
+class TestPatternMining:
+    @pytest.fixture()
+    def flows(self):
+        return [
+            FlowRecord(1.0, "10.20.0.1", "93.0.0.1", 80, 10, 100, "spam1.bid"),
+            FlowRecord(2.0, "10.20.0.2", "93.0.0.1", 1337, 10, 100, "spam1.bid"),
+            FlowRecord(3.0, "10.20.0.3", "93.0.0.1", 2710, 10, 100, "spam2.bid"),
+            FlowRecord(4.0, "10.20.0.1", "93.0.0.9", 443, 10, 100, "other.com"),
+        ]
+
+    def test_cluster_pattern_aggregation(self, flows):
+        cluster = DomainCluster(0, ["spam1.bid", "spam2.bid"], np.zeros(2))
+        patterns = mine_cluster_patterns([cluster], flows)
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        assert pattern.server_ips == {"93.0.0.1"}
+        assert pattern.destination_ports == {80, 1337, 2710}
+        assert pattern.campus_hosts == {"10.20.0.1", "10.20.0.2", "10.20.0.3"}
+        assert pattern.flow_count == 3
+
+    def test_summary_mentions_counts(self, flows):
+        cluster = DomainCluster(0, ["spam1.bid", "spam2.bid"], np.zeros(2))
+        pattern = mine_cluster_patterns([cluster], flows)[0]
+        summary = pattern.summary()
+        assert "2 domains" in summary
+        assert "1 server IP" in summary
+        assert "80,1337,2710" in summary
+
+    def test_unrelated_flows_ignored(self, flows):
+        cluster = DomainCluster(1, ["spam1.bid"], np.zeros(2))
+        pattern = mine_cluster_patterns([cluster], flows)[0]
+        assert "93.0.0.9" not in pattern.server_ips
+
+    def test_shared_infrastructure_index(self, flows):
+        index = shared_infrastructure_index(flows)
+        assert index["93.0.0.1"] == {"spam1.bid", "spam2.bid"}
+        assert index["93.0.0.9"] == {"other.com"}

@@ -1,0 +1,51 @@
+"""Netflow simulation over a full simulated trace (integration)."""
+
+import pytest
+
+from repro.netflow import NetflowSimulator, mine_cluster_patterns
+from repro.core.clustering import DomainCluster
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def flows(tiny_trace):
+    simulator = NetflowSimulator(
+        tiny_trace.ground_truth, benign_sampling_rate=0.1, seed=2
+    )
+    return list(simulator.flows_from(tiny_trace.responses))
+
+
+class TestTraceScaleNetflow:
+    def test_flows_generated(self, flows):
+        assert len(flows) > 100
+
+    def test_every_malicious_resolution_has_a_flow(self, tiny_trace, flows):
+        truth = tiny_trace.ground_truth
+        malicious_resolutions = sum(
+            1
+            for r in tiny_trace.responses
+            if not r.nxdomain
+            and r.resolved_ips
+            and truth.is_malicious(r.qname)
+        )
+        malicious_flows = sum(
+            1 for f in flows if truth.is_malicious(f.domain)
+        )
+        # qnames of malicious domains equal their e2LD in the simulator,
+        # so counts must match exactly.
+        assert malicious_flows == malicious_resolutions
+
+    def test_flow_sources_are_campus_hosts(self, flows):
+        assert all(f.src_ip.startswith("10.20.") for f in flows[:200])
+
+    def test_family_cluster_shares_infrastructure(self, tiny_trace, flows):
+        """Flows of one family concentrate on its campaign addresses."""
+        family, domains = max(
+            tiny_trace.families.items(), key=lambda kv: len(kv[1])
+        )
+        cluster = DomainCluster(0, list(domains), np.zeros(2))
+        pattern = mine_cluster_patterns([cluster], flows)[0]
+        if pattern.flow_count == 0:
+            pytest.skip("family unresolved in tiny trace")
+        assert len(pattern.server_ips) <= max(len(domains), 4)
+        assert pattern.campus_hosts

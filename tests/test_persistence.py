@@ -1,0 +1,89 @@
+"""Unit tests for artifact persistence (npz round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureSpace
+from repro.core.persistence import (
+    load_embedding,
+    load_feature_space,
+    load_similarity_graph,
+    save_embedding,
+    save_feature_space,
+    save_similarity_graph,
+)
+from repro.embedding.line import LineConfig, LineEmbedding
+from repro.graphs.projection import SimilarityGraph
+
+
+@pytest.fixture()
+def embedding(rng):
+    return LineEmbedding(
+        kind="host",
+        domains=["a.com", "b.net", "c.org"],
+        vectors=rng.normal(size=(3, 8)),
+        config=LineConfig(dimension=8, order="second", seed=5),
+    )
+
+
+@pytest.fixture()
+def graph():
+    return SimilarityGraph(
+        kind="ip",
+        domains=["a.com", "b.net", "c.org"],
+        rows=np.array([0, 0]),
+        cols=np.array([1, 2]),
+        weights=np.array([0.5, 0.25]),
+    )
+
+
+class TestEmbeddingRoundTrip:
+    def test_round_trip(self, embedding, tmp_path):
+        path = tmp_path / "embedding.npz"
+        save_embedding(embedding, path)
+        loaded = load_embedding(path)
+        assert loaded.kind == embedding.kind
+        assert loaded.domains == embedding.domains
+        assert np.allclose(loaded.vectors, embedding.vectors)
+        assert loaded.config == embedding.config
+
+    def test_lookup_works_after_load(self, embedding, tmp_path):
+        path = tmp_path / "embedding.npz"
+        save_embedding(embedding, path)
+        loaded = load_embedding(path)
+        assert np.allclose(loaded.vector("b.net"), embedding.vector("b.net"))
+        assert np.all(loaded.vector("missing.example") == 0)
+
+
+class TestFeatureSpaceRoundTrip:
+    def test_round_trip(self, embedding, tmp_path):
+        space = FeatureSpace(query=embedding, ip=embedding, temporal=embedding)
+        save_feature_space(space, tmp_path / "space")
+        loaded = load_feature_space(tmp_path / "space")
+        assert loaded.dimension == space.dimension
+        assert np.allclose(
+            loaded.matrix(["a.com", "c.org"]),
+            space.matrix(["a.com", "c.org"]),
+        )
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_similarity_graph(graph, path)
+        loaded = load_similarity_graph(path)
+        assert loaded.kind == graph.kind
+        assert loaded.domains == graph.domains
+        assert loaded.weight_between("a.com", "b.net") == 0.5
+        assert loaded.edge_count == 2
+
+    def test_embeddable_after_load(self, graph, tmp_path):
+        from repro.embedding.line import train_line
+
+        path = tmp_path / "graph.npz"
+        save_similarity_graph(graph, path)
+        loaded = load_similarity_graph(path)
+        result = train_line(
+            loaded, LineConfig(dimension=4, total_samples=5_000)
+        )
+        assert result.vectors.shape == (3, 4)

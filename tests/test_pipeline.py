@@ -1,0 +1,114 @@
+"""Integration tests for the end-to-end detection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FeatureView,
+    MaliciousDomainDetector,
+    PipelineConfig,
+)
+from repro.errors import GraphConstructionError, NotFittedError
+from repro.ml import roc_auc_score
+
+
+class TestPipelineStages:
+    def test_graphs_built(self, processed_detector):
+        assert processed_detector.host_domain is not None
+        assert processed_detector.domain_ip is not None
+        assert processed_detector.domain_time is not None
+        assert processed_detector.pruning_report is not None
+        assert processed_detector.pruning_report.domains_after > 50
+
+    def test_similarity_graphs_share_vertex_order(self, processed_detector):
+        graphs = processed_detector.similarity_graphs
+        orders = {tuple(g.domains) for g in graphs.values()}
+        assert len(orders) == 1
+        assert list(orders)[0] == tuple(processed_detector.domains)
+
+    def test_feature_space_dimension(self, processed_detector):
+        # 3 views x the 16-dim test config.
+        assert processed_detector.feature_space.dimension == 48
+
+    def test_features_for_returns_rows_per_domain(self, processed_detector):
+        domains = processed_detector.domains[:7]
+        matrix = processed_detector.features_for(domains)
+        assert matrix.shape == (7, 48)
+
+    def test_single_view_features(self, processed_detector):
+        domains = processed_detector.domains[:5]
+        matrix = processed_detector.features_for(domains, [FeatureView.IP])
+        assert matrix.shape == (5, 16)
+
+
+class TestSupervisedStage:
+    def test_fit_predict_cycle(self, processed_detector, labeled_dataset):
+        processed_detector.fit(labeled_dataset)
+        scores = processed_detector.decision_scores(labeled_dataset.domains)
+        auc = roc_auc_score(labeled_dataset.labels, scores)
+        assert auc > 0.8  # training-set AUC on the tiny trace
+
+    def test_predictions_binary(self, processed_detector, labeled_dataset):
+        processed_detector.fit(labeled_dataset)
+        predictions = processed_detector.predict(labeled_dataset.domains[:10])
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_unknown_domain_scoring(self, processed_detector, labeled_dataset):
+        processed_detector.fit(labeled_dataset)
+        scores = processed_detector.decision_scores(["never-seen.example.com"])
+        assert scores.shape == (1,)
+
+
+class TestUnsupervisedStage:
+    def test_clustering_covers_requested_domains(self, processed_detector):
+        domains = processed_detector.domains[:60]
+        clusters = processed_detector.cluster(domains, k_max=10)
+        members = [d for c in clusters for d in c.domains]
+        assert sorted(members) == sorted(domains)
+
+
+class TestStageOrderingErrors:
+    def test_similarity_before_graphs_raises(self):
+        with pytest.raises(GraphConstructionError):
+            MaliciousDomainDetector().build_similarity_graphs()
+
+    def test_domains_before_graphs_raises(self):
+        with pytest.raises(NotFittedError):
+            MaliciousDomainDetector().domains
+
+    def test_scores_before_fit_raises(self, tiny_trace, fast_line_config):
+        detector = MaliciousDomainDetector(
+            PipelineConfig(embedding=fast_line_config)
+        )
+        detector.process(
+            tiny_trace.queries, tiny_trace.responses, tiny_trace.dhcp
+        )
+        with pytest.raises(NotFittedError):
+            detector.decision_scores(["a.com"])
+
+    def test_features_before_embeddings_raises(self, tiny_trace):
+        detector = MaliciousDomainDetector()
+        detector.build_graphs(
+            tiny_trace.queries, tiny_trace.responses, tiny_trace.dhcp
+        )
+        with pytest.raises(NotFittedError):
+            detector.features_for(["a.com"])
+
+
+class TestDetectionQuality:
+    def test_detector_beats_chance_on_tiny_trace(
+        self, tiny_trace, processed_detector, labeled_dataset
+    ):
+        """Out-of-sample sanity: scores order malicious above benign."""
+        from repro.core.detector import MaliciousDomainClassifier
+        from repro.ml import cross_validated_scores
+
+        features = processed_detector.features_for(labeled_dataset.domains)
+        scores, __ = cross_validated_scores(
+            features,
+            labeled_dataset.labels,
+            MaliciousDomainClassifier,
+            n_splits=5,
+        )
+        auc = roc_auc_score(labeled_dataset.labels, scores)
+        assert auc > 0.75

@@ -1,0 +1,44 @@
+"""Unit tests for feature preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.preprocessing import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_not_divided(self):
+        data = np.column_stack([np.full(10, 7.0), np.arange(10, dtype=float)])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled[:, 0], 0.0)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_uses_training_stats(self, rng):
+        train = rng.normal(size=(100, 2))
+        test = rng.normal(loc=10.0, size=(50, 2))
+        scaler = StandardScaler().fit(train)
+        scaled_test = scaler.transform(test)
+        # Test data is off-center by construction.
+        assert scaled_test.mean() > 5.0
+
+    def test_inverse_transform_round_trip(self, rng):
+        data = rng.normal(2.0, 5.0, size=(50, 3))
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(NotFittedError):
+            StandardScaler().inverse_transform(np.zeros((2, 2)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))

@@ -1,0 +1,91 @@
+"""Unit tests for the pruning rules (paper section 4.1)."""
+
+import pytest
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
+
+
+def make_graphs():
+    """10 hosts; one hub domain, one single-host domain, two normal."""
+    host_domain = BipartiteGraph(kind="host")
+    for i in range(10):
+        host_domain.add_edge("hub.com", f"h{i}")  # queried by all hosts
+    host_domain.add_edge("lonely.com", "h0")  # single host
+    for i in range(3):
+        host_domain.add_edge("normal-a.com", f"h{i}")
+        host_domain.add_edge("normal-b.com", f"h{i+3}")
+
+    domain_ip = BipartiteGraph(kind="ip")
+    for domain in ("hub.com", "lonely.com", "normal-a.com", "normal-b.com"):
+        domain_ip.add_edge(domain, f"ip-of-{domain}")
+    # A domain only seen in responses (no query edge).
+    domain_ip.add_edge("response-only.com", "93.0.0.9")
+
+    domain_time = BipartiteGraph(kind="time")
+    for domain in ("hub.com", "lonely.com", "normal-a.com", "normal-b.com"):
+        domain_time.add_edge(domain, 0)
+    return host_domain, domain_ip, domain_time
+
+
+class TestPruneGraphs:
+    def test_rule1_drops_popular(self):
+        hd, di, dt = make_graphs()
+        __, __, __, report = prune_graphs(hd, di, dt)
+        assert "hub.com" in report.dropped_popular
+
+    def test_rule2_drops_single_host(self):
+        hd, di, dt = make_graphs()
+        __, __, __, report = prune_graphs(hd, di, dt)
+        assert "lonely.com" in report.dropped_single_host
+
+    def test_survivors(self):
+        hd, di, dt = make_graphs()
+        __, __, __, report = prune_graphs(hd, di, dt)
+        assert report.surviving_domains == {"normal-a.com", "normal-b.com"}
+
+    def test_pruning_applied_to_all_graphs(self):
+        hd, di, dt = make_graphs()
+        pruned_hd, pruned_di, pruned_dt, report = prune_graphs(hd, di, dt)
+        for graph in (pruned_hd, pruned_di, pruned_dt):
+            assert set(graph.domains) <= report.surviving_domains
+
+    def test_response_only_domains_dropped(self):
+        hd, di, dt = make_graphs()
+        __, pruned_di, __, __ = prune_graphs(hd, di, dt)
+        assert "response-only.com" not in pruned_di.domains
+
+    def test_custom_thresholds(self):
+        hd, di, dt = make_graphs()
+        rules = PruningRules(popular_host_fraction=1.0, min_hosts=1)
+        __, __, __, report = prune_graphs(hd, di, dt, rules)
+        # Nothing dropped: hub needs >100% of hosts, min_hosts=1 keeps all.
+        assert report.domains_after == 4
+
+    def test_report_summary(self):
+        hd, di, dt = make_graphs()
+        __, __, __, report = prune_graphs(hd, di, dt)
+        summary = report.summary()
+        assert "rule1" in summary and "rule2" in summary
+
+    def test_originals_not_mutated(self):
+        hd, di, dt = make_graphs()
+        prune_graphs(hd, di, dt)
+        assert "hub.com" in hd.domains
+
+
+class TestPruningRulesValidation:
+    def test_fraction_range(self):
+        with pytest.raises(ValueError):
+            PruningRules(popular_host_fraction=0.0).validate()
+        with pytest.raises(ValueError):
+            PruningRules(popular_host_fraction=1.5).validate()
+
+    def test_min_hosts(self):
+        with pytest.raises(ValueError):
+            PruningRules(min_hosts=0).validate()
+
+    def test_paper_defaults(self):
+        rules = PruningRules()
+        assert rules.popular_host_fraction == 0.5
+        assert rules.min_hosts == 2

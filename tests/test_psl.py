@@ -1,0 +1,74 @@
+"""Unit tests for the public suffix list implementation."""
+
+import pytest
+
+from repro.dns.psl import PublicSuffixList, default_psl
+from repro.errors import DomainNameError
+
+
+@pytest.fixture()
+def small_psl():
+    return PublicSuffixList(
+        ["com", "co.uk", "uk", "*.ck", "!www.ck", "blogspot.com"]
+    )
+
+
+class TestPublicSuffixMatching:
+    def test_simple_tld(self, small_psl):
+        assert small_psl.public_suffix("example.com") == "com"
+
+    def test_longest_rule_wins(self, small_psl):
+        assert small_psl.public_suffix("shop.example.co.uk") == "co.uk"
+
+    def test_private_suffix_beats_parent(self, small_psl):
+        assert small_psl.public_suffix("me.blogspot.com") == "blogspot.com"
+
+    def test_wildcard_rule(self, small_psl):
+        assert small_psl.public_suffix("example.foo.ck") == "foo.ck"
+
+    def test_exception_rule_beats_wildcard(self, small_psl):
+        assert small_psl.public_suffix("www.ck") == "ck"
+        assert small_psl.registered_domain("www.ck") == "www.ck"
+
+    def test_unlisted_tld_is_suffix(self, small_psl):
+        assert small_psl.public_suffix("example.zz") == "zz"
+        assert small_psl.registered_domain("www.example.zz") == "example.zz"
+
+
+class TestRegisteredDomain:
+    def test_basic(self, small_psl):
+        assert small_psl.registered_domain("a.b.example.com") == "example.com"
+
+    def test_exact_e2ld_maps_to_itself(self, small_psl):
+        assert small_psl.registered_domain("example.com") == "example.com"
+
+    def test_bare_suffix_raises(self, small_psl):
+        with pytest.raises(DomainNameError):
+            small_psl.registered_domain("co.uk")
+
+    def test_is_public_suffix(self, small_psl):
+        assert small_psl.is_public_suffix("co.uk")
+        assert not small_psl.is_public_suffix("example.co.uk")
+
+
+class TestDefaultPsl:
+    def test_is_cached_singleton(self):
+        assert default_psl() is default_psl()
+
+    def test_has_rules(self):
+        assert default_psl().rule_count > 100
+
+    @pytest.mark.parametrize(
+        ("hostname", "e2ld"),
+        [
+            ("maps.google.com", "google.com"),
+            ("www.bbc.co.uk", "bbc.co.uk"),
+            ("a.b.c.example.com.cn", "example.com.cn"),
+            ("cdn7.akamaized.net", "cdn7.akamaized.net"),
+            ("x.y.duckdns.org", "y.duckdns.org"),
+            ("oorfapjflmp.ws", "oorfapjflmp.ws"),
+            ("fattylivercur.bid", "fattylivercur.bid"),
+        ],
+    )
+    def test_real_world_cases(self, hostname, e2ld):
+        assert default_psl().registered_domain(hostname) == e2ld

@@ -1,0 +1,64 @@
+"""Contract tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_is_semver(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.dns",
+            "repro.simulation",
+            "repro.labels",
+            "repro.graphs",
+            "repro.embedding",
+            "repro.ml",
+            "repro.core",
+            "repro.baselines",
+            "repro.netflow",
+            "repro.analysis",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", []):
+            assert hasattr(imported, name), f"{module}.{name} missing"
+
+    def test_every_public_item_documented(self):
+        """Each __all__ entry carries a docstring (deliverable e)."""
+        undocumented = []
+        for module_name in (
+            "repro",
+            "repro.dns",
+            "repro.graphs",
+            "repro.embedding",
+            "repro.ml",
+            "repro.core",
+            "repro.baselines",
+            "repro.analysis",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                item = getattr(module, name)
+                if callable(item) and not getattr(item, "__doc__", None):
+                    undocumented.append(f"{module_name}.{name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_paper_constants_exposed(self):
+        from repro.core.detector import PAPER_GAMMA, PAPER_PENALTY
+
+        assert PAPER_PENALTY == 0.09
+        assert PAPER_GAMMA == 0.06

@@ -1,0 +1,57 @@
+"""Unit tests for text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    format_domain_table,
+    format_roc_ascii,
+    format_series_table,
+)
+
+
+class TestFormatDomainTable:
+    def test_grid_layout(self):
+        table = format_domain_table(["a.com", "b.com", "c.com", "d.com"], columns=3)
+        lines = table.splitlines()
+        assert len(lines) == 2
+        assert "a.com" in lines[0] and "c.com" in lines[0]
+        assert "d.com" in lines[1]
+
+    def test_empty(self):
+        assert format_domain_table([]) == ""
+
+    def test_invalid_columns(self):
+        with pytest.raises(ValueError):
+            format_domain_table(["a.com"], columns=0)
+
+
+class TestFormatSeriesTable:
+    def test_alignment_and_precision(self):
+        table = format_series_table(
+            ["name", "auc"], [["combined", 0.93651], ["query", 0.8899]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.937" in table
+        assert "0.890" in table
+
+    def test_empty_rows(self):
+        table = format_series_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestFormatRocAscii:
+    def test_contains_curve_and_axes(self):
+        fpr = np.array([0.0, 0.1, 1.0])
+        tpr = np.array([0.0, 0.9, 1.0])
+        plot = format_roc_ascii(fpr, tpr)
+        assert "*" in plot
+        assert "TPR" in plot and "FPR" in plot
+
+    def test_perfect_curve_hits_top_left(self):
+        fpr = np.array([0.0, 0.0, 1.0])
+        tpr = np.array([0.0, 1.0, 1.0])
+        plot = format_roc_ascii(fpr, tpr, width=30, height=10)
+        first_data_row = plot.splitlines()[1]
+        assert "*" in first_data_row  # top row reached

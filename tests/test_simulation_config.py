@@ -1,0 +1,87 @@
+"""Unit tests for simulation configuration validation."""
+
+import pytest
+
+from repro.errors import SimulationConfigError
+from repro.simulation.config import (
+    BenignCatalogConfig,
+    HostPopulationConfig,
+    MalwareConfig,
+    SimulationConfig,
+)
+
+
+class TestHostPopulationConfig:
+    def test_default_is_valid(self):
+        HostPopulationConfig().validate()
+
+    def test_fractions_must_sum_to_one(self):
+        config = HostPopulationConfig(desktop_fraction=0.9)
+        with pytest.raises(SimulationConfigError, match="sum to 1"):
+            config.validate()
+
+    def test_minimum_host_count(self):
+        with pytest.raises(SimulationConfigError, match="host_count"):
+            HostPopulationConfig(host_count=2).validate()
+
+    def test_sessions_positive(self):
+        with pytest.raises(SimulationConfigError, match="sessions_per_day"):
+            HostPopulationConfig(sessions_per_day=0).validate()
+
+
+class TestBenignCatalogConfig:
+    def test_default_is_valid(self):
+        BenignCatalogConfig().validate()
+
+    def test_zipf_exponent_must_exceed_one(self):
+        with pytest.raises(SimulationConfigError, match="zipf"):
+            BenignCatalogConfig(zipf_exponent=1.0).validate()
+
+    def test_shared_hosting_fraction_range(self):
+        with pytest.raises(SimulationConfigError, match="shared_hosting"):
+            BenignCatalogConfig(shared_hosting_fraction=1.5).validate()
+
+
+class TestMalwareConfig:
+    def test_default_is_valid(self):
+        MalwareConfig().validate()
+
+    def test_negative_family_count_rejected(self):
+        with pytest.raises(SimulationConfigError):
+            MalwareConfig(dga_botnet_count=-1).validate()
+
+    def test_total_malicious_domains(self):
+        config = MalwareConfig(
+            dga_botnet_count=2,
+            domains_per_dga_family=10,
+            cnc_family_count=1,
+            domains_per_cnc_family=5,
+            spam_campaign_count=0,
+            phishing_campaign_count=0,
+            fastflux_family_count=0,
+        )
+        assert config.total_malicious_domains == 25
+
+
+class TestSimulationConfig:
+    def test_default_is_valid(self):
+        SimulationConfig().validate()
+
+    def test_tiny_is_valid(self):
+        SimulationConfig.tiny().validate()
+
+    def test_paper_scale_is_valid(self):
+        SimulationConfig.paper_scale().validate()
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(SimulationConfigError, match="duration"):
+            SimulationConfig(duration_days=0).validate()
+
+    def test_duration_seconds(self):
+        assert SimulationConfig(duration_days=2).duration_seconds == 172_800.0
+
+    def test_validation_cascades_to_subconfigs(self):
+        config = SimulationConfig()
+        config.malware.beacon_interval_minutes = -1
+        with pytest.raises(SimulationConfigError, match="beacon"):
+            config.validate()

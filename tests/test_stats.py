@@ -1,0 +1,79 @@
+"""Unit tests for traffic statistics (Figure 1 series)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import compute_traffic_statistics
+from repro.dns.types import DnsQuery
+
+
+def query(t, qname="www.example.com"):
+    return DnsQuery(t, 1, "10.0.0.1", qname)
+
+
+class TestComputeTrafficStatistics:
+    def test_hourly_binning(self):
+        queries = [query(10.0), query(3500.0), query(3700.0), query(7300.0)]
+        stats = compute_traffic_statistics(queries, bin_seconds=3600.0)
+        assert stats.bin_count == 3
+        assert stats.query_volume.tolist() == [2, 1, 1]
+        assert stats.total_queries == 4
+
+    def test_unique_fqdn_vs_e2ld(self):
+        queries = [
+            query(10.0, "a.example.com"),
+            query(20.0, "b.example.com"),
+            query(30.0, "other.net"),
+        ]
+        stats = compute_traffic_statistics(queries, bin_seconds=3600.0)
+        assert stats.unique_fqdns[0] == 3
+        assert stats.unique_e2lds[0] == 2
+        assert stats.total_unique_fqdns == 3
+        assert stats.total_unique_e2lds == 2
+
+    def test_invalid_names_excluded_from_e2ld_series(self):
+        queries = [query(10.0, "bad name!"), query(20.0, "ok.example.com")]
+        stats = compute_traffic_statistics(queries, bin_seconds=3600.0)
+        assert stats.unique_fqdns[0] == 2  # FQDNs counted as observed
+        assert stats.unique_e2lds[0] == 1
+
+    def test_empty_trace(self):
+        stats = compute_traffic_statistics([])
+        assert stats.bin_count == 0
+        assert stats.total_queries == 0
+
+    def test_gap_bins_are_zero(self):
+        queries = [query(10.0), query(4 * 3600.0 + 5)]
+        stats = compute_traffic_statistics(queries, bin_seconds=3600.0)
+        assert stats.query_volume.tolist() == [1, 0, 0, 0, 1]
+
+    def test_invalid_bin_rejected(self):
+        with pytest.raises(ValueError):
+            compute_traffic_statistics([], bin_seconds=0.0)
+
+    def test_peak_bin(self):
+        queries = [query(10.0), query(3700.0), query(3800.0)]
+        stats = compute_traffic_statistics(queries, bin_seconds=3600.0)
+        assert stats.peak_bin() == 1
+
+    def test_daily_profile_shape(self):
+        queries = [
+            query(day * 86400.0 + hour * 3600.0 + 5)
+            for day in range(3)
+            for hour in range(24)
+        ]
+        stats = compute_traffic_statistics(queries, bin_seconds=3600.0)
+        profile = stats.daily_profile()
+        assert profile.shape == (24,)
+        assert np.allclose(profile, 1.0)
+
+
+class TestDiurnalShapeOnSimulatedTrace:
+    def test_day_night_cycle_visible(self, tiny_trace):
+        stats = compute_traffic_statistics(
+            tiny_trace.queries, bin_seconds=3600.0
+        )
+        profile = stats.daily_profile()
+        night = profile[2:5].mean()
+        day = profile[10:17].mean()
+        assert day > 2 * night

@@ -1,0 +1,114 @@
+"""Unit tests for the SMO-trained kernel SVM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.svm import SupportVectorClassifier
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    n = 150
+    features = np.vstack(
+        [rng.normal(-1.2, 0.6, size=(n, 2)), rng.normal(1.2, 0.6, size=(n, 2))]
+    )
+    labels = np.array([0] * n + [1] * n)
+    return features, labels
+
+
+class TestFitPredict:
+    def test_separable_blobs(self, blobs):
+        features, labels = blobs
+        model = SupportVectorClassifier(c=1.0, gamma=0.5).fit(features, labels)
+        assert model.score(features, labels) > 0.95
+        assert model.converged_
+
+    def test_decision_sign_matches_prediction(self, blobs):
+        features, labels = blobs
+        model = SupportVectorClassifier(c=1.0, gamma=0.5).fit(features, labels)
+        scores = model.decision_function(features)
+        predictions = model.predict(features)
+        assert np.all((scores >= 0) == (predictions == 1))
+
+    def test_linear_kernel(self, blobs):
+        features, labels = blobs
+        model = SupportVectorClassifier(c=5.0, kernel="linear").fit(
+            features, labels
+        )
+        assert model.score(features, labels) > 0.95
+
+    def test_poly_kernel(self, blobs):
+        features, labels = blobs
+        model = SupportVectorClassifier(
+            c=1.0, kernel="poly", gamma=0.5, degree=2
+        ).fit(features, labels)
+        assert model.score(features, labels) > 0.9
+
+    def test_xor_needs_nonlinear_kernel(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+        rbf = SupportVectorClassifier(c=5.0, gamma=2.0).fit(x, y)
+        assert rbf.score(x, y) > 0.9  # XOR is RBF-separable
+
+    def test_arbitrary_label_values(self, blobs):
+        features, __ = blobs
+        labels = np.array(["benign"] * 150 + ["malicious"] * 150)
+        model = SupportVectorClassifier(c=1.0, gamma=0.5).fit(features, labels)
+        predictions = model.predict(features)
+        assert set(predictions) <= {"benign", "malicious"}
+        assert np.mean(predictions == labels) > 0.95
+
+    def test_dual_feasibility(self, blobs):
+        """Support-vector coefficients obey the box constraint."""
+        features, labels = blobs
+        c = 0.5
+        model = SupportVectorClassifier(c=c, gamma=0.5).fit(features, labels)
+        coefficients = model._support_coefficients
+        assert np.all(np.abs(coefficients) <= c + 1e-9)
+        # Equality constraint: sum of signed alphas is ~0.
+        assert abs(coefficients.sum()) < 1e-6
+
+    def test_paper_hyperparameters_run(self, blobs):
+        features, labels = blobs
+        model = SupportVectorClassifier().fit(features, labels)  # C=.09 γ=.06
+        assert model.score(features, labels) > 0.8
+
+
+class TestValidation:
+    def test_not_fitted_errors(self):
+        model = SupportVectorClassifier()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            model.decision_function(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            model.support_vector_count
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            SupportVectorClassifier(c=0.0)
+        with pytest.raises(ValueError):
+            SupportVectorClassifier(kernel="sigmoid")
+        with pytest.raises(ValueError):
+            SupportVectorClassifier(gamma=-1.0)
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            SupportVectorClassifier().fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SupportVectorClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_1d_features_rejected(self):
+        with pytest.raises(ValueError):
+            SupportVectorClassifier().fit(np.zeros(5), np.zeros(5))
+
+    def test_single_sample_prediction(self, blobs):
+        features, labels = blobs
+        model = SupportVectorClassifier(c=1.0, gamma=0.5).fit(features, labels)
+        score = model.decision_function(features[0])
+        assert score.shape == (1,)

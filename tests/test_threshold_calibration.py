@@ -1,0 +1,48 @@
+"""Tests for the classifier's training-time threshold calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import MaliciousDomainClassifier
+from repro.ml import f1_score
+
+
+@pytest.fixture(scope="module")
+def imbalanced_data():
+    """Skewed classes with small C push raw scores off-center."""
+    rng = np.random.default_rng(3)
+    benign = rng.normal(-0.4, 0.6, size=(300, 4))
+    malicious = rng.normal(0.6, 0.6, size=(60, 4))
+    features = np.vstack([benign, malicious])
+    labels = np.array([0] * 300 + [1] * 60)
+    return features, labels
+
+
+class TestThresholdCalibration:
+    def test_auto_threshold_recovers_f1(self, imbalanced_data):
+        features, labels = imbalanced_data
+        fixed = MaliciousDomainClassifier(threshold=0.0).fit(features, labels)
+        auto = MaliciousDomainClassifier().fit(features, labels)
+        f1_fixed = f1_score(labels, fixed.predict(features))
+        f1_auto = f1_score(labels, auto.predict(features))
+        assert f1_auto >= f1_fixed
+        assert f1_auto > 0.5
+
+    def test_explicit_threshold_respected(self, imbalanced_data):
+        features, labels = imbalanced_data
+        model = MaliciousDomainClassifier(threshold=1.5).fit(features, labels)
+        assert model.threshold_ == 1.5
+
+    def test_calibrated_threshold_is_a_score_midpoint(self, imbalanced_data):
+        features, labels = imbalanced_data
+        model = MaliciousDomainClassifier().fit(features, labels)
+        scores = model.decision_function(features)
+        assert scores.min() < model.threshold_ < scores.max()
+
+    def test_decision_function_unaffected_by_threshold(self, imbalanced_data):
+        features, labels = imbalanced_data
+        auto = MaliciousDomainClassifier().fit(features, labels)
+        fixed = MaliciousDomainClassifier(threshold=0.0).fit(features, labels)
+        assert np.allclose(
+            auto.decision_function(features), fixed.decision_function(features)
+        )

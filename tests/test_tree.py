@@ -1,0 +1,133 @@
+"""Unit tests for the C4.5/J48-style decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.tree import DecisionTreeClassifier, _pessimistic_errors
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    n = 200
+    features = np.vstack(
+        [rng.normal(-1, 0.5, size=(n, 3)), rng.normal(1, 0.5, size=(n, 3))]
+    )
+    labels = np.array([0] * n + [1] * n)
+    return features, labels
+
+
+class TestFitPredict:
+    def test_blobs(self, blobs):
+        features, labels = blobs
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.score(features, labels) > 0.95
+
+    def test_axis_aligned_rule_is_learned_exactly(self):
+        rng = np.random.default_rng(1)
+        features = rng.uniform(0, 10, size=(500, 2))
+        labels = (features[:, 1] > 3.7).astype(int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.score(features, labels) == 1.0
+        assert tree._root.feature == 1
+        assert abs(tree._root.threshold - 3.7) < 0.3
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(2)
+        features = np.vstack(
+            [rng.normal(c, 0.3, size=(60, 2)) for c in (-2, 0, 2)]
+        )
+        labels = np.repeat(["a", "b", "c"], 60)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.score(features, labels) > 0.95
+        assert set(tree.predict(features)) == {"a", "b", "c"}
+
+    def test_predict_proba_rows_sum_to_one(self, blobs):
+        features, labels = blobs
+        tree = DecisionTreeClassifier().fit(features, labels)
+        probabilities = tree.predict_proba(features[:20])
+        assert probabilities.shape == (20, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_pure_labels_give_single_leaf(self):
+        tree = DecisionTreeClassifier().fit(np.ones((10, 2)), np.zeros(10))
+        assert tree.node_count == 1
+        assert tree.depth == 0
+
+    def test_constant_features_give_single_leaf(self):
+        tree = DecisionTreeClassifier().fit(
+            np.ones((10, 2)), np.array([0] * 5 + [1] * 5)
+        )
+        assert tree.node_count == 1
+
+    def test_xor_is_learnable(self):
+        rng = np.random.default_rng(3)
+        features = rng.uniform(-1, 1, size=(600, 2))
+        labels = ((features[:, 0] * features[:, 1]) > 0).astype(int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.score(features, labels) > 0.9
+
+
+class TestRegularization:
+    def test_max_depth_cap(self, blobs):
+        features, labels = blobs
+        tree = DecisionTreeClassifier(max_depth=2, confidence=None).fit(
+            features, labels
+        )
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(4)
+        features = rng.uniform(size=(100, 2))
+        labels = rng.integers(0, 2, size=100)
+        tree = DecisionTreeClassifier(min_samples_leaf=40, confidence=None).fit(
+            features, labels
+        )
+        # With leaves of >= 40 samples only a couple of splits fit.
+        assert tree.node_count <= 5
+
+    def test_pruning_shrinks_noisy_tree(self):
+        rng = np.random.default_rng(5)
+        features = rng.uniform(size=(400, 4))
+        labels = rng.integers(0, 2, size=400)  # pure noise
+        unpruned = DecisionTreeClassifier(confidence=None).fit(features, labels)
+        pruned = DecisionTreeClassifier(confidence=0.25).fit(features, labels)
+        assert pruned.node_count < unpruned.node_count
+
+    def test_pruning_preserves_real_signal(self, blobs):
+        features, labels = blobs
+        pruned = DecisionTreeClassifier(confidence=0.25).fit(features, labels)
+        assert pruned.score(features, labels) > 0.95
+
+
+class TestPessimisticErrors:
+    def test_zero_total(self):
+        assert _pessimistic_errors(0.0, 0.0, 0.25) == 0.0
+
+    def test_upper_bound_exceeds_observed(self):
+        assert _pessimistic_errors(2.0, 10.0, 0.25) > 2.0
+
+    def test_more_data_tightens_bound(self):
+        loose = _pessimistic_errors(2.0, 10.0, 0.25) / 10.0
+        tight = _pessimistic_errors(20.0, 100.0, 0.25) / 100.0
+        assert tight < loose
+
+
+class TestValidation:
+    def test_not_fitted(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(NotFittedError):
+            tree.predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            tree.node_count
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(confidence=0.7)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))

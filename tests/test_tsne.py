@@ -1,0 +1,76 @@
+"""Unit tests for the exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.tsne import TsneConfig, tsne_embed
+from repro.errors import EmbeddingError
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0, 0, 0, 0], [8, 8, 0, 0], [0, 8, 8, 0]], dtype=float)
+    data = np.vstack(
+        [rng.normal(c, 0.3, size=(40, 4)) for c in centers]
+    )
+    labels = np.repeat([0, 1, 2], 40)
+    return data, labels
+
+
+class TestTsneEmbed:
+    def test_output_shape(self, three_blobs):
+        data, __ = three_blobs
+        layout = tsne_embed(data, TsneConfig(perplexity=15, iterations=300))
+        assert layout.shape == (120, 2)
+        assert np.all(np.isfinite(layout))
+
+    def test_clusters_stay_separated(self, three_blobs):
+        data, labels = three_blobs
+        layout = tsne_embed(data, TsneConfig(perplexity=15, iterations=400))
+        centroids = np.array(
+            [layout[labels == k].mean(axis=0) for k in range(3)]
+        )
+        # Mean within-cluster spread must be far below between-centroid
+        # distances: the blobs remain distinct in 2-D.
+        spreads = [
+            np.linalg.norm(layout[labels == k] - centroids[k], axis=1).mean()
+            for k in range(3)
+        ]
+        gaps = [
+            np.linalg.norm(centroids[i] - centroids[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        ]
+        assert max(spreads) < 0.5 * min(gaps)
+
+    def test_deterministic(self, three_blobs):
+        data, __ = three_blobs
+        config = TsneConfig(perplexity=10, iterations=120)
+        assert np.array_equal(tsne_embed(data, config), tsne_embed(data, config))
+
+    def test_layout_is_centered(self, three_blobs):
+        data, __ = three_blobs
+        layout = tsne_embed(data, TsneConfig(perplexity=10, iterations=120))
+        assert np.allclose(layout.mean(axis=0), 0.0, atol=1e-8)
+
+
+class TestTsneValidation:
+    def test_rejects_1d_input(self):
+        with pytest.raises(EmbeddingError):
+            tsne_embed(np.ones(10))
+
+    def test_perplexity_too_large(self):
+        data = np.random.default_rng(0).normal(size=(20, 3))
+        with pytest.raises(EmbeddingError, match="perplexity"):
+            tsne_embed(data, TsneConfig(perplexity=10))
+
+    def test_perplexity_must_exceed_one(self):
+        data = np.random.default_rng(0).normal(size=(50, 3))
+        with pytest.raises(EmbeddingError):
+            tsne_embed(data, TsneConfig(perplexity=0.5))
+
+    def test_minimum_iterations(self):
+        data = np.random.default_rng(0).normal(size=(100, 3))
+        with pytest.raises(EmbeddingError, match="iterations"):
+            tsne_embed(data, TsneConfig(iterations=10))

@@ -1,0 +1,74 @@
+"""Unit tests for the browsing model."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.config import BenignCatalogConfig
+from repro.simulation.domains import BenignCatalog
+from repro.simulation.ipspace import IpSpace
+from repro.simulation.web import BrowsingModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    catalog = BenignCatalog(
+        BenignCatalogConfig(
+            popular_site_count=20,
+            longtail_site_count=50,
+            third_party_count=15,
+            cdn_provider_count=2,
+            shared_hosting_provider_count=3,
+        ),
+        IpSpace(),
+        np.random.default_rng(23),
+    )
+    return BrowsingModel(catalog, np.random.default_rng(24))
+
+
+class TestRedirectors:
+    def test_redirectors_created(self, model):
+        assert len(model.redirector_records) == BrowsingModel.REDIRECTOR_COUNT
+        assert set(model.redirector_hosting) == {
+            r.name for r in model.redirector_records
+        }
+
+    def test_redirector_records_benign(self, model):
+        assert all(not r.is_malicious for r in model.redirector_records)
+
+
+class TestSessionLookups:
+    def test_session_contains_site_lookup(self, model):
+        site = model.pick_site()
+        lookups = model.session_lookups(site)
+        assert any(l.e2ld == site.domain for l in lookups)
+
+    def test_delays_are_monotonic(self, model):
+        lookups = model.session_lookups()
+        delays = [l.delay for l in lookups]
+        assert delays == sorted(delays)
+        assert delays[0] >= 0.0
+
+    def test_embedded_third_parties_appear(self, model):
+        # Across many sessions of a site with embedded domains, the
+        # third parties must show up (85% inclusion per render).
+        site = next(s for s in model._sites if s.embedded_domains)
+        seen: set[str] = set()
+        for __ in range(50):
+            seen |= {l.e2ld for l in model.session_lookups(site)}
+        assert set(site.embedded_domains) <= seen
+
+    def test_popular_sites_visited_more(self, model):
+        sites = model.pick_sites(4000)
+        names = [s.domain for s in sites]
+        popular = {s.domain for s in model._catalog.popular_sites}
+        popular_visits = sum(1 for n in names if n in popular)
+        assert popular_visits > len(names) * 0.4
+
+    def test_pick_sites_batch_matches_single(self, model):
+        batch = model.pick_sites(10)
+        assert len(batch) == 10
+
+    def test_lookup_qnames_belong_to_e2ld(self, model):
+        for __ in range(20):
+            for lookup in model.session_lookups():
+                assert lookup.qname.endswith(lookup.e2ld)

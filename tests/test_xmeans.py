@@ -1,0 +1,109 @@
+"""Unit tests for X-Means (automatic k selection via BIC)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.xmeans import XMeans, _bic
+
+
+def make_blobs(counts, centers, spread=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    data = np.vstack(
+        [
+            rng.normal(center, spread, size=(count, len(center)))
+            for count, center in zip(counts, centers)
+        ]
+    )
+    labels = np.repeat(np.arange(len(counts)), counts)
+    return data, labels
+
+
+class TestXMeans:
+    def test_finds_four_well_separated_blobs(self):
+        data, __ = make_blobs(
+            [40, 40, 40, 40],
+            [(0, 0), (8, 0), (0, 8), (8, 8)],
+        )
+        model = XMeans(k_min=2, k_max=12, seed=1).fit(data)
+        assert model.n_clusters_ == 4
+
+    def test_single_blob_stays_unsplit_from_kmin_one(self):
+        data, __ = make_blobs([100], [(0, 0)])
+        model = XMeans(k_min=1, k_max=8, seed=1).fit(data)
+        assert model.n_clusters_ <= 2
+
+    def test_respects_k_max(self):
+        data, __ = make_blobs(
+            [30] * 6, [(i * 6, 0) for i in range(6)]
+        )
+        model = XMeans(k_min=2, k_max=3, seed=1).fit(data)
+        assert model.n_clusters_ <= 3
+
+    def test_cluster_purity_on_separated_blobs(self):
+        data, truth = make_blobs(
+            [50, 50, 50], [(0, 0), (10, 0), (0, 10)]
+        )
+        model = XMeans(k_min=2, k_max=10, seed=2).fit(data)
+        # Every found cluster should be dominated by one true blob.
+        for cluster in range(model.n_clusters_):
+            members = truth[model.labels_ == cluster]
+            if members.size == 0:
+                continue
+            dominant = np.bincount(members).max()
+            assert dominant / members.size > 0.9
+
+    def test_predict_consistent_with_labels(self):
+        data, __ = make_blobs([60, 60], [(0, 0), (7, 7)])
+        model = XMeans(k_min=2, k_max=6, seed=3).fit(data)
+        assert np.array_equal(model.predict(data), model.labels_)
+
+    def test_deterministic(self):
+        data, __ = make_blobs([40, 40], [(0, 0), (9, 9)])
+        a = XMeans(seed=5).fit(data)
+        b = XMeans(seed=5).fit(data)
+        assert a.n_clusters_ == b.n_clusters_
+        assert np.array_equal(a.labels_, b.labels_)
+
+
+class TestBic:
+    def test_two_blob_split_improves_bic(self):
+        data, __ = make_blobs([80, 80], [(0, 0), (10, 10)], seed=4)
+        one_center = data.mean(axis=0)[None, :]
+        bic_one = _bic(data, one_center, np.zeros(data.shape[0], dtype=int))
+        halves = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assignments = (np.linalg.norm(data - halves[1], axis=1)
+                       < np.linalg.norm(data - halves[0], axis=1)).astype(int)
+        bic_two = _bic(data, halves, assignments)
+        assert bic_two > bic_one
+
+    def test_uniform_data_prefers_one_cluster(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(100, 2))
+        bic_one = _bic(
+            data, data.mean(axis=0)[None, :], np.zeros(100, dtype=int)
+        )
+        split = (data[:, 0] > 0).astype(int)
+        centers = np.array(
+            [data[split == 0].mean(axis=0), data[split == 1].mean(axis=0)]
+        )
+        bic_two = _bic(data, centers, split)
+        # An arbitrary split of one Gaussian should not beat the single
+        # cluster model by much (and typically loses).
+        assert bic_two < bic_one + 10.0
+
+
+class TestValidation:
+    def test_k_min_bounds(self):
+        with pytest.raises(ValueError):
+            XMeans(k_min=0)
+        with pytest.raises(ValueError):
+            XMeans(k_min=5, k_max=3)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            XMeans().predict(np.zeros((3, 2)))
+
+    def test_fewer_samples_than_k_min(self):
+        with pytest.raises(ValueError):
+            XMeans(k_min=10).fit(np.zeros((3, 2)))
