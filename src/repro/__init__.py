@@ -8,6 +8,7 @@ that substitute for the paper's proprietary data. See DESIGN.md for the
 full system inventory and EXPERIMENTS.md for the reproduced results.
 """
 
+from repro import obs
 from repro.core import (
     DomainCluster,
     DomainClusterer,
@@ -58,6 +59,7 @@ __all__ = [
     "TraceGenerator",
     "build_labeled_dataset",
     "expand_from_seeds",
+    "obs",
     "project_to_similarity",
     "train_line",
     "tsne_embed",

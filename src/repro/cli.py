@@ -10,6 +10,12 @@ Four subcommands mirror an operator's workflow:
 
 Run any subcommand with ``-h`` for its options. The entry point is also
 callable as ``python -m repro.cli``.
+
+Observability: every subcommand takes ``-v/--verbose`` (repeatable) for
+structured logfmt logs on stderr; ``detect`` and ``cluster`` print a
+per-stage timing table and accept ``--metrics-out PATH`` to dump the
+full metrics snapshot as JSON (see docs/observability.md). Bad input
+paths exit with status 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -20,10 +26,16 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import __version__
 from repro.analysis.reporting import format_series_table
 from repro.analysis.stats import compute_traffic_statistics
 from repro.core.clustering import DomainClusterer
-from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.core.pipeline import (
+    STAGE_CLUSTERING,
+    MaliciousDomainDetector,
+    PipelineConfig,
+)
+from repro.obs.tracing import trace
 from repro.dns.dhcp import DhcpLog
 from repro.dns.logfmt import DnsTraceReader
 from repro.dns.types import DnsQuery, DnsResponse
@@ -34,8 +46,45 @@ from repro.labels import (
     SimulatedVirusTotal,
     build_labeled_dataset,
 )
+from repro.obs import configure as configure_logging
+from repro.obs import default_registry, get_logger
+from repro.obs.export import render_timing_table, write_snapshot
 from repro.simulation import SimulationConfig, TraceGenerator
 from repro.simulation.groundtruth import GroundTruth
+
+_log = get_logger(__name__)
+
+
+def _reject_trace_dir(directory: Path) -> str | None:
+    """Why ``directory`` can't be read as a trace dir, or ``None`` if OK."""
+    if not directory.exists():
+        return f"trace directory does not exist: {directory}"
+    if not directory.is_dir():
+        return f"not a directory: {directory}"
+    if not (directory / "dns.log").is_file():
+        return f"no dns.log in {directory}"
+    return None
+
+
+def _require_trace_dir(args) -> Path | None:
+    """Validated trace directory, or ``None`` after printing an error."""
+    directory = Path(args.tracedir)
+    error = _reject_trace_dir(directory)
+    if error is not None:
+        print(f"repro-dns {args.command}: {error}", file=sys.stderr)
+        return None
+    return directory
+
+
+def _emit_observability(args) -> None:
+    """Print the stage-timing table; write the JSON snapshot if asked."""
+    registry = default_registry()
+    print("\nstage timings:")
+    print(render_timing_table(registry))
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        path = write_snapshot(registry, Path(metrics_out))
+        print(f"wrote metrics snapshot to {path}", file=sys.stderr)
 
 
 def _load_trace_dir(directory: Path):
@@ -63,6 +112,13 @@ def _build_detector(args, queries, responses, dhcp) -> MaliciousDomainDetector:
 
 
 def cmd_simulate(args) -> int:
+    outdir = Path(args.outdir)
+    if outdir.exists() and not outdir.is_dir():
+        print(
+            f"repro-dns simulate: output path is not a directory: {outdir}",
+            file=sys.stderr,
+        )
+        return 2
     if args.scale == "tiny":
         config = SimulationConfig.tiny(seed=args.seed)
     elif args.scale == "paper":
@@ -72,7 +128,6 @@ def cmd_simulate(args) -> int:
     if args.days is not None:
         config.duration_days = args.days
     trace = TraceGenerator(config).generate()
-    outdir = Path(args.outdir)
     trace.save(outdir)
     print(trace.metadata.description)
     print(f"wrote dns.log / dhcp.log / groundtruth.tsv under {outdir}")
@@ -80,7 +135,10 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    queries, __, __, __ = _load_trace_dir(Path(args.tracedir))
+    directory = _require_trace_dir(args)
+    if directory is None:
+        return 2
+    queries, __, __, __ = _load_trace_dir(directory)
     stats = compute_traffic_statistics(queries, bin_seconds=args.bin_seconds)
     print(
         format_series_table(
@@ -104,7 +162,9 @@ def cmd_stats(args) -> int:
 
 
 def cmd_detect(args) -> int:
-    directory = Path(args.tracedir)
+    directory = _require_trace_dir(args)
+    if directory is None:
+        return 2
     queries, responses, dhcp, truth = _load_trace_dir(directory)
     if truth is None:
         print(
@@ -128,17 +188,21 @@ def cmd_detect(args) -> int:
     print("\ntop suspects:")
     for index in order[: args.top]:
         print(f"  {scores[index]:+8.3f}  {detector.domains[int(index)]}")
+    _emit_observability(args)
     return 0
 
 
 def cmd_cluster(args) -> int:
-    directory = Path(args.tracedir)
+    directory = _require_trace_dir(args)
+    if directory is None:
+        return 2
     queries, responses, dhcp, truth = _load_trace_dir(directory)
     detector = _build_detector(args, queries, responses, dhcp)
     clusterer = DomainClusterer(k_min=4, k_max=args.k_max, seed=args.seed)
-    clusters = clusterer.fit(
-        detector.domains, detector.features_for(detector.domains)
-    )
+    with trace(STAGE_CLUSTERING):
+        clusters = clusterer.fit(
+            detector.domains, detector.features_for(detector.domains)
+        )
     print(f"{len(clusters)} clusters")
     if truth is not None:
         threatbook = SimulatedThreatBook(truth)
@@ -157,6 +221,7 @@ def cmd_cluster(args) -> int:
                 f"  cluster {cluster.cluster_id:3d}: {len(cluster):5d} domains: "
                 f"{', '.join(cluster.domains[:3])}..."
             )
+    _emit_observability(args)
     return 0
 
 
@@ -166,9 +231,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Malicious-domain detection via behavioral modeling "
         "and graph embedding (ICDCS 2019 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="structured logs on stderr (-v info, -vv debug)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_sim = sub.add_parser("simulate", help="generate a campus DNS capture")
+    p_sim = sub.add_parser("simulate", parents=[common],
+                           help="generate a campus DNS capture")
     p_sim.add_argument("outdir")
     p_sim.add_argument("--scale", choices=["tiny", "default", "paper"],
                        default="tiny")
@@ -176,31 +250,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--days", type=float, default=None)
     p_sim.set_defaults(handler=cmd_simulate)
 
-    p_stats = sub.add_parser("stats", help="Figure-1 traffic statistics")
+    p_stats = sub.add_parser("stats", parents=[common],
+                             help="Figure-1 traffic statistics")
     p_stats.add_argument("tracedir")
     p_stats.add_argument("--bin-seconds", type=float, default=3600.0)
     p_stats.add_argument("--profile", action="store_true",
                          help="print the hour-of-day profile")
     p_stats.set_defaults(handler=cmd_stats)
 
-    p_detect = sub.add_parser("detect", help="score domains in a capture")
+    p_detect = sub.add_parser("detect", parents=[common],
+                              help="score domains in a capture")
     p_detect.add_argument("tracedir")
     p_detect.add_argument("--dimension", type=int, default=16)
     p_detect.add_argument("--seed", type=int, default=13)
     p_detect.add_argument("--top", type=int, default=15)
+    p_detect.add_argument("--metrics-out", metavar="PATH", default=None,
+                          help="write a JSON metrics snapshot to PATH")
     p_detect.set_defaults(handler=cmd_detect)
 
-    p_cluster = sub.add_parser("cluster", help="mine domain clusters")
+    p_cluster = sub.add_parser("cluster", parents=[common],
+                               help="mine domain clusters")
     p_cluster.add_argument("tracedir")
     p_cluster.add_argument("--dimension", type=int, default=16)
     p_cluster.add_argument("--seed", type=int, default=13)
     p_cluster.add_argument("--k-max", type=int, default=50)
+    p_cluster.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write a JSON metrics snapshot to PATH")
     p_cluster.set_defaults(handler=cmd_cluster)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
+    # Each invocation reports its own run: the timing table and
+    # --metrics-out snapshot cover exactly this command.
+    default_registry().reset()
+    _log.debug("command_started", command=args.command)
     return args.handler(args)
 
 

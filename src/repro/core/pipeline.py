@@ -35,6 +35,28 @@ from repro.graphs.bipartite import (
 from repro.graphs.projection import SimilarityGraph, project_to_similarity
 from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
 from repro.labels.dataset import LabeledDataset
+from repro.obs.logging import get_logger
+from repro.obs.tracing import trace
+
+_log = get_logger(__name__)
+
+# Canonical stage names used for tracing spans and metric keys
+# (stage.<name>.seconds / stage.<name>.calls in the registry).
+STAGE_GRAPH_BUILD = "graph_build"
+STAGE_PRUNING = "pruning"
+STAGE_PROJECTION = "projection"
+STAGE_EMBEDDING = "embedding"
+STAGE_SVM_FIT = "svm_fit"
+STAGE_CLUSTERING = "clustering"
+
+#: The five stages a ``detect`` run exercises, in execution order.
+DETECTION_STAGES: tuple[str, ...] = (
+    STAGE_GRAPH_BUILD,
+    STAGE_PRUNING,
+    STAGE_PROJECTION,
+    STAGE_EMBEDDING,
+    STAGE_SVM_FIT,
+)
 
 
 @dataclass(slots=True)
@@ -95,20 +117,30 @@ class MaliciousDomainDetector:
         dhcp: DhcpLog | None = None,
     ) -> PruningReport:
         """Build and prune the three bipartite graphs."""
-        identity = HostIdentityResolver(dhcp) if dhcp is not None else None
-        queries = list(queries)
-        host_domain = build_host_domain_graph(queries, identity)
-        domain_ip = build_domain_ip_graph(responses)
-        domain_time = build_domain_time_graph(
-            queries, window_seconds=self.config.time_window_seconds
-        )
-        (
-            self.host_domain,
-            self.domain_ip,
-            self.domain_time,
-            self.pruning_report,
-        ) = prune_graphs(host_domain, domain_ip, domain_time, self.config.pruning)
+        with trace(STAGE_GRAPH_BUILD):
+            identity = HostIdentityResolver(dhcp) if dhcp is not None else None
+            queries = list(queries)
+            host_domain = build_host_domain_graph(queries, identity)
+            domain_ip = build_domain_ip_graph(responses)
+            domain_time = build_domain_time_graph(
+                queries, window_seconds=self.config.time_window_seconds
+            )
+        with trace(STAGE_PRUNING):
+            (
+                self.host_domain,
+                self.domain_ip,
+                self.domain_time,
+                self.pruning_report,
+            ) = prune_graphs(
+                host_domain, domain_ip, domain_time, self.config.pruning
+            )
         self._domain_order = sorted(self.pruning_report.surviving_domains)
+        _log.info(
+            "graphs_built",
+            queries=len(queries),
+            domains_before=self.pruning_report.domains_before,
+            domains_after=self.pruning_report.domains_after,
+        )
         return self.pruning_report
 
     def adopt_graphs(
@@ -122,12 +154,15 @@ class MaliciousDomainDetector:
         The streaming mode maintains graphs incrementally and hands them
         to a fresh detector at each refresh; this is its entry point.
         """
-        (
-            self.host_domain,
-            self.domain_ip,
-            self.domain_time,
-            self.pruning_report,
-        ) = prune_graphs(host_domain, domain_ip, domain_time, self.config.pruning)
+        with trace(STAGE_PRUNING):
+            (
+                self.host_domain,
+                self.domain_ip,
+                self.domain_time,
+                self.pruning_report,
+            ) = prune_graphs(
+                host_domain, domain_ip, domain_time, self.config.pruning
+            )
         self._domain_order = sorted(self.pruning_report.surviving_domains)
         return self.pruning_report
 
@@ -152,15 +187,23 @@ class MaliciousDomainDetector:
             raise GraphConstructionError("call build_graphs() first")
         order = self._domain_order
         threshold = self.config.min_similarity
-        self.similarity_graphs = {
-            FeatureView.QUERY: project_to_similarity(
-                self.host_domain, order, threshold
-            ),
-            FeatureView.IP: project_to_similarity(self.domain_ip, order, threshold),
-            FeatureView.TEMPORAL: project_to_similarity(
-                self.domain_time, order, threshold
-            ),
-        }
+        with trace(STAGE_PROJECTION):
+            self.similarity_graphs = {
+                FeatureView.QUERY: project_to_similarity(
+                    self.host_domain, order, threshold
+                ),
+                FeatureView.IP: project_to_similarity(
+                    self.domain_ip, order, threshold
+                ),
+                FeatureView.TEMPORAL: project_to_similarity(
+                    self.domain_time, order, threshold
+                ),
+            }
+        _log.debug(
+            "projections_built",
+            domains=len(order),
+            edges=sum(g.edge_count for g in self.similarity_graphs.values()),
+        )
         return self.similarity_graphs
 
     # ------------------------------------------------------------------
@@ -180,13 +223,29 @@ class MaliciousDomainDetector:
             seed=base.seed + offsets[view],
         )
 
-    def learn_embeddings(self) -> FeatureSpace:
-        """Train LINE per view and assemble the feature space."""
+    def learn_embeddings(self, progress=None) -> FeatureSpace:
+        """Train LINE per view and assemble the feature space.
+
+        Args:
+            progress: Optional :class:`repro.obs.ProgressCallback`
+                forwarded to every per-view LINE training loop.
+        """
         if not self.similarity_graphs:
             self.build_similarity_graphs()
         embeddings: dict[FeatureView, LineEmbedding] = {}
-        for view, graph in self.similarity_graphs.items():
-            embeddings[view] = train_line(graph, self._line_config_for(view))
+        with trace(STAGE_EMBEDDING):
+            for view, graph in self.similarity_graphs.items():
+                with trace(f"{STAGE_EMBEDDING}.{view.value}") as span:
+                    embeddings[view] = train_line(
+                        graph, self._line_config_for(view), progress=progress
+                    )
+                _log.debug(
+                    "view_embedded",
+                    view=view.value,
+                    nodes=graph.node_count,
+                    edges=graph.edge_count,
+                    seconds=span.elapsed,
+                )
         self.feature_space = FeatureSpace(
             query=embeddings[FeatureView.QUERY],
             ip=embeddings[FeatureView.IP],
@@ -221,7 +280,15 @@ class MaliciousDomainDetector:
     def fit(self, dataset: LabeledDataset) -> "MaliciousDomainDetector":
         """Train the SVM on a labeled dataset."""
         features = self.features_for(dataset.domains)
-        self.classifier = MaliciousDomainClassifier().fit(features, dataset.labels)
+        with trace(STAGE_SVM_FIT):
+            self.classifier = MaliciousDomainClassifier().fit(
+                features, dataset.labels
+            )
+        _log.info(
+            "classifier_fitted",
+            samples=len(dataset.domains),
+            support_vectors=self.classifier.support_vector_count,
+        )
         return self
 
     def decision_scores(self, domains: Sequence[str]) -> np.ndarray:
@@ -249,4 +316,8 @@ class MaliciousDomainDetector:
         if domains is None:
             domains = self.domains
         clusterer = DomainClusterer(k_max=k_max, seed=seed)
-        return clusterer.fit(list(domains), self.features_for(domains))
+        features = self.features_for(domains)
+        with trace(STAGE_CLUSTERING):
+            clusters = clusterer.fit(list(domains), features)
+        _log.info("clusters_mined", domains=len(domains), clusters=len(clusters))
+        return clusters

@@ -19,6 +19,7 @@ with line-rate traffic, and it is O(1) per record here.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 import numpy as np
@@ -31,6 +32,15 @@ from repro.dns.types import DnsQuery, DnsResponse
 from repro.errors import DomainNameError, NotFittedError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.labels.dataset import LabeledDataset
+from repro.obs.logging import get_logger
+from repro.obs.metrics import default_registry
+
+_log = get_logger(__name__)
+
+# Cache-miss marker for _e2ld_cache: a cached value of None is a valid
+# entry ("qname has no registrable domain"), so missing keys need their
+# own sentinel rather than any in-band string value.
+_CACHE_MISS: object = object()
 
 
 class IncrementalGraphBuilder:
@@ -53,9 +63,9 @@ class IncrementalGraphBuilder:
         self.latest_timestamp = 0.0
 
     def _to_e2ld(self, qname: str) -> str | None:
-        cached = self._e2ld_cache.get(qname, "")
-        if cached != "":
-            return cached
+        cached = self._e2ld_cache.get(qname, _CACHE_MISS)
+        if cached is not _CACHE_MISS:
+            return cached  # type: ignore[return-value]
         e2ld: str | None = None
         if is_valid_domain_name(qname):
             try:
@@ -91,6 +101,18 @@ class IncrementalGraphBuilder:
             elif isinstance(record, DnsResponse) and not record.nxdomain:
                 for ip in record.resolved_ips:
                     self.domain_ip.add_edge(e2ld, ip)
+        # Metrics once per batch, never per record: ingest is the one
+        # path that must keep up with line-rate traffic.
+        registry = default_registry()
+        registry.counter("streaming.records_ingested").inc(count)
+        registry.gauge("streaming.host_domain.edges").set(
+            self.host_domain.edge_count
+        )
+        registry.gauge("streaming.domain_ip.edges").set(self.domain_ip.edge_count)
+        registry.gauge("streaming.domain_time.edges").set(
+            self.domain_time.edge_count
+        )
+        registry.gauge("streaming.domains").set(self.host_domain.domain_count)
         return count
 
 
@@ -130,6 +152,7 @@ class StreamingDetector:
         zero-filled feature blocks (no behavioral evidence *yet*) — they
         gain real features at the next refresh after they appear.
         """
+        started = time.perf_counter()
         detector = MaliciousDomainDetector(self.config)
         detector.adopt_graphs(
             self.builder.host_domain,
@@ -141,6 +164,17 @@ class StreamingDetector:
         detector.fit(dataset)
         self._detector = detector
         self.refreshes += 1
+        elapsed = time.perf_counter() - started
+        registry = default_registry()
+        registry.histogram("streaming.refresh.seconds").observe(elapsed)
+        registry.counter("streaming.refreshes").inc()
+        _log.info(
+            "refresh_done",
+            refresh=self.refreshes,
+            domains=len(detector.domains),
+            records_ingested=self.builder.records_ingested,
+            seconds=elapsed,
+        )
         return self
 
     @property

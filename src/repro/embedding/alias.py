@@ -34,14 +34,14 @@ class AliasSampler:
         large = [i for i in range(n) if scaled[i] >= 1.0]
         while small and large:
             s = small.pop()
-            l = large.pop()
+            g = large.pop()
             self._prob[s] = scaled[s]
-            self._alias[s] = l
-            scaled[l] = scaled[l] + scaled[s] - 1.0
-            if scaled[l] < 1.0:
-                small.append(l)
+            self._alias[s] = g
+            scaled[g] = scaled[g] + scaled[s] - 1.0
+            if scaled[g] < 1.0:
+                small.append(g)
             else:
-                large.append(l)
+                large.append(g)
         for remainder in (*small, *large):
             self._prob[remainder] = 1.0
             self._alias[remainder] = remainder

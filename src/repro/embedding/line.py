@@ -20,6 +20,7 @@ experiments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,8 +28,13 @@ import numpy as np
 from repro.embedding.alias import AliasSampler
 from repro.errors import EmbeddingError
 from repro.graphs.projection import SimilarityGraph
+from repro.obs.metrics import default_registry
 
 _SCORE_CLIP = 10.0
+
+# Progress reports per single-order training run ("both" makes two runs,
+# so a full train_line reports up to 2x this many epochs).
+_REPORTS_PER_ORDER = 10
 
 
 @dataclass(slots=True)
@@ -144,11 +150,20 @@ def _train_single_order(
     config: LineConfig,
     rng: np.random.Generator,
     total_samples: int,
+    progress=None,
+    epoch_offset: int = 0,
+    epoch_total: int = 0,
 ) -> np.ndarray:
     """Train one proximity order; returns the vertex embedding matrix.
 
     ``use_context=True`` trains second-order proximity with separate
     context vectors; ``False`` trains first-order with shared vectors.
+
+    When ``progress`` is given, the loop additionally tracks the running
+    negative-sampling loss and reports ``on_epoch`` about
+    ``_REPORTS_PER_ORDER`` times over the run (``epoch_offset`` /
+    ``epoch_total`` stitch the two runs of ``order="both"`` into one
+    sequence). With ``progress=None`` no loss terms are computed at all.
     """
     vertex = (rng.uniform(-0.5, 0.5, size=(node_count, dimension))) / dimension
     context = (
@@ -163,6 +178,16 @@ def _train_single_order(
     # vector at once, which overshoots and collapses small graphs.
     batch_size = min(config.batch_size, max(32, 4 * node_count))
     negatives = config.negatives
+    # Sample-count thresholds at which progress is reported; the last one
+    # equals total_samples so the final batch always reports.
+    thresholds = [
+        max(1, round(total_samples * i / _REPORTS_PER_ORDER))
+        for i in range(1, _REPORTS_PER_ORDER + 1)
+    ]
+    next_report = 0
+    loss_sum = 0.0
+    loss_terms = 0
+    batch_loss = 0.0
     while drawn < total_samples:
         batch = min(batch_size, total_samples - drawn)
         lr = config.initial_lr * max(1e-4, 1.0 - drawn / total_samples)
@@ -176,6 +201,8 @@ def _train_single_order(
 
         # Positive pairs: label 1.
         pos_scores = np.einsum("ij,ij->i", vertex[u], context[v])
+        if progress is not None:
+            batch_loss = float(np.mean(-np.log(_sigmoid(pos_scores))))
         pos_coeff = (_sigmoid(pos_scores) - 1.0) * lr
         grad_u += pos_coeff[:, None] * context[v]
         delta_v = pos_coeff[:, None] * vertex[u]
@@ -189,6 +216,8 @@ def _train_single_order(
         for __ in range(negatives):
             neg = noise_sampler.sample(batch, rng)
             neg_scores = np.einsum("ij,ij->i", vertex[u], context[neg])
+            if progress is not None:
+                batch_loss += float(np.mean(-np.log(_sigmoid(-neg_scores))))
             neg_coeff = _sigmoid(neg_scores) * lr
             grad_u += neg_coeff[:, None] * context[neg]
             delta_neg = neg_coeff[:, None] * vertex[u]
@@ -199,11 +228,29 @@ def _train_single_order(
 
         np.add.at(vertex, u, -grad_u)
         drawn += batch
+        if progress is not None:
+            loss_sum += batch_loss
+            loss_terms += 1
+            if next_report < len(thresholds) and drawn >= thresholds[next_report]:
+                while (
+                    next_report < len(thresholds)
+                    and drawn >= thresholds[next_report]
+                ):
+                    next_report += 1
+                progress.on_epoch(
+                    epoch_offset + next_report,
+                    epoch_total,
+                    loss_sum / loss_terms,
+                )
+                loss_sum = 0.0
+                loss_terms = 0
     return vertex
 
 
 def train_line(
-    graph: SimilarityGraph, config: LineConfig | None = None
+    graph: SimilarityGraph,
+    config: LineConfig | None = None,
+    progress=None,
 ) -> LineEmbedding:
     """Embed a similarity graph with LINE.
 
@@ -211,6 +258,10 @@ def train_line(
         graph: A weighted similarity graph from
             :func:`repro.graphs.projection.project_to_similarity`.
         config: Hyperparameters (defaults to :class:`LineConfig`).
+        progress: Optional :class:`repro.obs.ProgressCallback`; receives
+            ~10 ``on_epoch(epoch, total, loss)`` reports per trained
+            order with the mean negative-sampling loss since the last
+            report. ``None`` (the default) skips all loss bookkeeping.
 
     Returns:
         The trained :class:`LineEmbedding` over ``graph.domains``.
@@ -238,27 +289,40 @@ def train_line(
     noise_sampler = AliasSampler(np.power(np.maximum(degrees, 1e-12), 0.75))
     total = config.resolved_samples(graph.edge_count)
 
+    started = time.perf_counter()
     if config.order == "both":
         half = config.dimension // 2
+        epoch_total = 2 * _REPORTS_PER_ORDER
         first = _train_single_order(
             graph.rows, graph.cols, edge_sampler, noise_sampler,
             graph.node_count, half, False, config, rng, total // 2,
+            progress, 0, epoch_total,
         )
         second = _train_single_order(
             graph.rows, graph.cols, edge_sampler, noise_sampler,
             graph.node_count, half, True, config, rng, total - total // 2,
+            progress, _REPORTS_PER_ORDER, epoch_total,
         )
         vectors = np.hstack([first, second])
     elif config.order == "first":
         vectors = _train_single_order(
             graph.rows, graph.cols, edge_sampler, noise_sampler,
             graph.node_count, config.dimension, False, config, rng, total,
+            progress, 0, _REPORTS_PER_ORDER,
         )
     else:
         vectors = _train_single_order(
             graph.rows, graph.cols, edge_sampler, noise_sampler,
             graph.node_count, config.dimension, True, config, rng, total,
+            progress, 0, _REPORTS_PER_ORDER,
         )
+    elapsed = time.perf_counter() - started
+
+    registry = default_registry()
+    registry.counter("line.edges_sampled").inc(total)
+    registry.counter("line.trainings").inc()
+    if elapsed > 0:
+        registry.gauge("line.edges_per_sec").set(total / elapsed)
 
     if config.normalize:
         norms = np.linalg.norm(vectors, axis=1, keepdims=True)

@@ -11,7 +11,7 @@ domain-level detection (and the construction behind DBOD, reference
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.graphs.bipartite import BipartiteGraph

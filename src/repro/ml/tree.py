@@ -12,7 +12,7 @@ exposes leaf class distributions so ROC curves can be drawn.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np

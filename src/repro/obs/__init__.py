@@ -1,0 +1,71 @@
+"""repro.obs — observability for the detection pipeline.
+
+Structured logging, in-process metrics, and stage tracing, with zero
+dependencies beyond the standard library. The pipeline, streaming mode,
+embedder, simulator, and CLI all record into the process-global
+:func:`default_registry`; :mod:`repro.obs.export` turns it into a JSON
+snapshot or a per-stage timing table.
+
+Quick tour::
+
+    from repro import obs
+
+    obs.configure(verbosity=1)            # logfmt lines on stderr
+    log = obs.get_logger(__name__)
+    log.info("run_started", tracedir="campus/")
+
+    with obs.trace("embedding"):          # -> stage.embedding.seconds
+        ...
+
+    obs.default_registry().counter("records").inc(4096)
+    print(obs.render_timing_table(obs.default_registry()))
+
+See ``docs/observability.md`` for the full API and the CLI flags
+(``-v``, ``--metrics-out``) built on top of it.
+"""
+
+from repro.obs.export import (
+    load_snapshot,
+    render_timing_table,
+    snapshot_to_dict,
+    write_snapshot,
+)
+from repro.obs.logging import StructuredLogger, configure, get_logger
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.progress import (
+    FanoutProgress,
+    LoggingProgress,
+    MetricsProgress,
+    ProgressCallback,
+)
+from repro.obs.tracing import Span, current_span, trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "FanoutProgress",
+    "Gauge",
+    "Histogram",
+    "LoggingProgress",
+    "MetricsProgress",
+    "MetricsRegistry",
+    "ProgressCallback",
+    "Span",
+    "StructuredLogger",
+    "configure",
+    "current_span",
+    "default_registry",
+    "get_logger",
+    "load_snapshot",
+    "render_timing_table",
+    "snapshot_to_dict",
+    "trace",
+    "write_snapshot",
+]

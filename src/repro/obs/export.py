@@ -1,0 +1,127 @@
+"""Registry export: JSON snapshots and the human-readable timing table.
+
+Two consumers, two formats:
+
+* machines get :func:`snapshot_to_dict` / :func:`write_snapshot` — a
+  schema-versioned plain dict with every counter, gauge, and histogram,
+  suitable for diffing across runs or shipping to a collector;
+* humans get :func:`render_timing_table` — the per-stage wall-time
+  table the CLI prints after ``detect`` / ``cluster``, built from the
+  ``stage.*`` metrics that :func:`repro.obs.tracing.trace` records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import STAGE_METRIC_PREFIX
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "snapshot_to_dict",
+    "write_snapshot",
+    "load_snapshot",
+    "render_timing_table",
+]
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def snapshot_to_dict(registry: MetricsRegistry) -> dict:
+    """Freeze ``registry`` into a JSON-serializable dict.
+
+    Schema::
+
+        {"schema_version": 1,
+         "counters":   {name: {"value": ...}},
+         "gauges":     {name: {"value": ...}},
+         "histograms": {name: {"count": ..., "sum": ..., "mean": ...,
+                               "min": ..., "max": ..., "p50": ...,
+                               "p95": ..., "p99": ..., "buckets": {...}}}}
+    """
+    counters: dict[str, dict] = {}
+    gauges: dict[str, dict] = {}
+    histograms: dict[str, dict] = {}
+    for name, metric in registry.items():
+        if isinstance(metric, Counter):
+            counters[name] = metric.snapshot()
+        elif isinstance(metric, Gauge):
+            gauges[name] = metric.snapshot()
+        elif isinstance(metric, Histogram):
+            histograms[name] = metric.snapshot()
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def write_snapshot(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the registry snapshot to ``path`` as indented JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(snapshot_to_dict(registry), indent=2, sort_keys=True)
+    path.write_text(payload + "\n", encoding="utf-8")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read a snapshot previously written by :func:`write_snapshot`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 100.0:
+        return f"{value:.0f}s"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1000.0:.1f}ms"
+
+
+def render_timing_table(registry: MetricsRegistry) -> str:
+    """The per-stage timing table for every traced stage in ``registry``.
+
+    Stages appear in first-recorded order (execution order; nested spans
+    close before their parent) with call counts, totals, and latency
+    percentiles. Returns a one-line placeholder when nothing was traced,
+    so callers can print unconditionally.
+    """
+    suffix = ".seconds"
+    rows: list[tuple[str, ...]] = []
+    for name, metric in registry.items():
+        if not isinstance(metric, Histogram):
+            continue
+        if not name.startswith(STAGE_METRIC_PREFIX) or not name.endswith(suffix):
+            continue
+        stage = name[len(STAGE_METRIC_PREFIX) : -len(suffix)]
+        rows.append(
+            (
+                stage,
+                str(metric.count),
+                _format_seconds(metric.sum),
+                _format_seconds(metric.mean),
+                _format_seconds(metric.percentile(50)),
+                _format_seconds(metric.percentile(95)),
+                _format_seconds(metric.max),
+            )
+        )
+    if not rows:
+        return "(no stages traced)"
+    header = ("stage", "calls", "total", "mean", "p50", "p95", "max")
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        for col in range(len(header))
+    ]
+
+    def _line(cells: tuple[str, ...]) -> str:
+        left = cells[0].ljust(widths[0])
+        rest = "  ".join(
+            cell.rjust(widths[col + 1]) for col, cell in enumerate(cells[1:])
+        )
+        return f"{left}  {rest}".rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([_line(header), separator, *(_line(row) for row in rows)])

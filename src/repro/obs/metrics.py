@@ -1,0 +1,342 @@
+"""In-process metrics: counters, gauges, and fixed-bucket histograms.
+
+The detection pipeline is meant to run continuously against live
+resolver traffic (ROADMAP north star), which makes "where does the time
+go / how much data flowed" a first-class question. This module provides
+the minimal metric primitives an operator needs, kept deliberately
+dependency-free and cheap enough to leave enabled in production:
+
+* :class:`Counter` — monotonically increasing totals (records ingested,
+  edges sampled);
+* :class:`Gauge` — last-written values (current graph sizes, rates);
+* :class:`Histogram` — fixed-bucket distributions with percentile
+  estimates (stage latencies, refresh times);
+* :class:`MetricsRegistry` — a thread-safe, named collection of the
+  above with a single :meth:`~MetricsRegistry.snapshot` export point.
+
+A process-global registry (:func:`default_registry`) is what the
+instrumented pipeline code records into; tests and embedders can pass
+their own registry anywhere one is accepted.
+
+Every mutation takes a per-metric lock, so concurrent ingest threads can
+share one registry. Updates are O(1) (histograms do a bisect over ~20
+bucket bounds); a counter increment costs well under a microsecond.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "default_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    Counters only go up — negative increments raise ``ValueError`` so a
+    miscomputed delta fails loudly instead of silently corrupting
+    totals.
+    """
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        """Plain-dict form used by :mod:`repro.obs.export`."""
+        return {"value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (graph size, rate, temperature)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Last written value."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        """Plain-dict form used by :mod:`repro.obs.export`."""
+        return {"value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+# Geometric bounds from 100 microseconds to 2 minutes: pipeline stages on
+# a tiny trace land near the bottom, LINE on a paper-scale trace near the
+# top. The final +inf bucket catches anything slower.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram with percentile summaries.
+
+    Observations are assigned to the first bucket whose upper bound is
+    >= the value; values beyond the last bound land in an implicit
+    +inf overflow bucket. Alongside the bucket counts the histogram
+    tracks exact ``count``/``sum``/``min``/``max``, so means and totals
+    are exact and only the percentiles are bucket-resolution estimates.
+    """
+
+    __slots__ = ("name", "bounds", "_lock", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(
+        self, name: str, buckets: Iterable[float] | None = None
+    ) -> None:
+        self.name = name
+        bounds = (
+            DEFAULT_TIME_BUCKETS if buckets is None else tuple(sorted(buckets))
+        )
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r}: needs >= 1 bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {self.name!r}: duplicate bucket bounds")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # trailing +inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of observations (0.0 when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        Linear interpolation within the containing bucket; the overflow
+        bucket reports the exact observed maximum. Accuracy is bounded
+        by bucket width, which is plenty for latency reporting.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q / 100.0 * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    if index == len(self.bounds):  # overflow bucket
+                        return self._max
+                    lower = self.bounds[index - 1] if index else 0.0
+                    upper = self.bounds[index]
+                    # Fraction of this bucket's mass below the target rank.
+                    into = (rank - (cumulative - bucket_count)) / bucket_count
+                    estimate = lower + (upper - lower) * max(0.0, min(1.0, into))
+                    # Exact extremes beat bucket interpolation at the tails.
+                    return max(self._min, min(estimate, self._max))
+            return self._max
+
+    def snapshot(self) -> dict:
+        """Plain-dict form used by :mod:`repro.obs.export`."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            total = self._sum
+            low = self._min if count else 0.0
+            high = self._max if count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "mean": total / count if count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": {
+                **{f"le_{bound:g}": counts[i] for i, bound in enumerate(self.bounds)},
+                "le_inf": counts[-1],
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """A named, thread-safe collection of metrics.
+
+    Metrics are created on first access and returned on subsequent
+    accesses (``registry.counter("x")`` is idempotent); asking for an
+    existing name as a different metric type raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory) -> object:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the :class:`Counter` called ``name``."""
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the :class:`Gauge` called ``name``."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` called ``name``.
+
+        ``buckets`` only applies on first creation; later calls return
+        the existing histogram unchanged.
+        """
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric called ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Sorted names of all registered metrics."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def items(self) -> list[tuple[str, Counter | Gauge | Histogram]]:
+        """(name, metric) pairs in registration order.
+
+        Registration order is execution order for traced stages, which
+        is what the timing table wants; JSON snapshots re-sort by name.
+        """
+        with self._lock:
+            return list(self._metrics.items())
+
+    def reset(self) -> None:
+        """Drop every metric (fresh start; used between CLI runs/tests)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> Mapping[str, dict]:
+        """See :func:`repro.obs.export.snapshot_to_dict` for the schema."""
+        from repro.obs.export import snapshot_to_dict
+
+        return snapshot_to_dict(self)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry the pipeline instrumentation uses."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,89 @@
+"""Progress callbacks for long-running training loops.
+
+LINE training at paper scale draws tens of millions of edge samples and
+can run for minutes per view; the embedder reports progress through the
+tiny :class:`ProgressCallback` protocol instead of printing. Callers
+pick what happens: log it (:class:`LoggingProgress`), track it as
+metrics (:class:`MetricsProgress`), fan out to several sinks
+(:class:`FanoutProgress`), or ignore it (pass ``None`` — the loops skip
+all progress bookkeeping entirely, including loss computation, so the
+disabled path costs nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.obs.logging import StructuredLogger, get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "ProgressCallback",
+    "LoggingProgress",
+    "MetricsProgress",
+    "FanoutProgress",
+]
+
+
+@runtime_checkable
+class ProgressCallback(Protocol):
+    """Anything with ``on_epoch(epoch, total, loss)``.
+
+    ``epoch`` is 1-based, ``total`` is the number of reports the loop
+    will make, and ``loss`` is the mean objective over the samples since
+    the previous report (semantics defined by each training loop).
+    """
+
+    def on_epoch(self, epoch: int, total: int, loss: float) -> None:
+        """Handle one progress report."""
+        ...  # pragma: no cover - protocol body
+
+
+class LoggingProgress:
+    """Logs each report as a structured ``epoch`` event."""
+
+    __slots__ = ("_log", "_label")
+
+    def __init__(
+        self, label: str, logger: StructuredLogger | None = None
+    ) -> None:
+        self._label = label
+        self._log = logger if logger is not None else get_logger("obs.progress")
+
+    def on_epoch(self, epoch: int, total: int, loss: float) -> None:
+        """Log one progress report at INFO."""
+        self._log.info(
+            "epoch", task=self._label, epoch=epoch, total=total, loss=loss
+        )
+
+
+class MetricsProgress:
+    """Mirrors the latest report into ``<prefix>.epoch`` / ``<prefix>.loss``."""
+
+    __slots__ = ("_prefix", "_registry")
+
+    def __init__(
+        self, prefix: str, registry: MetricsRegistry | None = None
+    ) -> None:
+        self._prefix = prefix
+        self._registry = registry if registry is not None else default_registry()
+
+    def on_epoch(self, epoch: int, total: int, loss: float) -> None:
+        """Record the report as gauges and bump the epoch counter."""
+        self._registry.gauge(f"{self._prefix}.epoch").set(epoch)
+        self._registry.gauge(f"{self._prefix}.loss").set(loss)
+        self._registry.counter(f"{self._prefix}.epochs_done").inc()
+
+
+class FanoutProgress:
+    """Forwards each report to every callback in order."""
+
+    __slots__ = ("_callbacks",)
+
+    def __init__(self, *callbacks: ProgressCallback) -> None:
+        self._callbacks = callbacks
+
+    def on_epoch(self, epoch: int, total: int, loss: float) -> None:
+        """Forward one report to every sink."""
+        for callback in self._callbacks:
+            callback.on_epoch(epoch, total, loss)

@@ -41,6 +41,10 @@ from repro.simulation.hosts import Host, HostPopulation
 from repro.simulation.ipspace import IpSpace
 from repro.simulation.malware import MalwareLandscape, QueryEvent
 from repro.simulation.web import BrowsingModel
+from repro.obs.logging import get_logger
+from repro.obs.metrics import default_registry
+
+_log = get_logger(__name__)
 
 
 @dataclass(slots=True)
@@ -160,6 +164,18 @@ class TraceGenerator:
         )
 
         queries, responses = self._render(events, hosting_map, population, rng)
+        registry = default_registry()
+        registry.counter("sim.queries_generated").inc(len(queries))
+        registry.counter("sim.responses_generated").inc(len(responses))
+        registry.counter("sim.traces_generated").inc()
+        _log.info(
+            "trace_generated",
+            hosts=len(population.hosts),
+            queries=len(queries),
+            responses=len(responses),
+            domains=len(ground_truth),
+            malicious=len(ground_truth.malicious_domains),
+        )
         metadata = TraceMetadata(
             start_time=0.0,
             duration=duration,

@@ -1,6 +1,5 @@
 """Unit tests for bipartite graph construction."""
 
-import numpy as np
 import pytest
 
 from repro.dns.dhcp import DhcpLog, HostIdentityResolver

@@ -85,3 +85,72 @@ class TestCluster:
         assert main(["cluster", str(trace_dir), "--dimension", "8"]) == 0
         output = capsys.readouterr().out
         assert "clusters" in output
+        assert "stage timings:" in output
+        assert "clustering" in output
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestBadInputPaths:
+    @pytest.mark.parametrize("command", ["stats", "detect", "cluster"])
+    def test_missing_tracedir_exits_nonzero(self, command, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main([command, str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["stats", "detect", "cluster"])
+    def test_dir_without_dns_log_exits_nonzero(self, command, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([command, str(empty)]) == 2
+        assert "no dns.log" in capsys.readouterr().err
+
+    def test_simulate_outdir_collides_with_file(self, tmp_path, capsys):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        assert main(["simulate", str(target)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_detect_metrics_out_writes_stage_snapshot(self, trace_dir, capsys):
+        import json
+
+        metrics_path = trace_dir / "metrics.json"
+        assert (
+            main(
+                ["detect", str(trace_dir), "--dimension", "8",
+                 "--metrics-out", str(metrics_path)]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "stage timings:" in output
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["schema_version"] == 1
+        for stage in (
+            "graph_build", "pruning", "projection", "embedding", "svm_fit",
+        ):
+            assert f"stage.{stage}.seconds" in snapshot["histograms"]
+            assert f"stage.{stage}.calls" in snapshot["counters"]
+            assert snapshot["histograms"][f"stage.{stage}.seconds"]["count"] >= 1
+
+    def test_verbose_flag_emits_structured_logs(self, trace_dir, capsys):
+        assert main(["stats", str(trace_dir), "-v"]) == 0
+        # -v routes repro.* INFO logs to stderr as logfmt.
+        from repro.obs.logging import configure
+
+        configure(0)  # restore quiet default for other tests
+        assert main(["detect", str(trace_dir), "--dimension", "8", "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "event=graphs_built" in err
+        assert "level=info" in err
+        configure(0)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.federation import (
-    CampaignMatch,
     SiteVerdicts,
     correlate_verdicts,
     match_campaigns,

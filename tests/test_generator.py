@@ -1,7 +1,5 @@
 """Unit and integration tests for the end-to-end trace generator."""
 
-import numpy as np
-import pytest
 
 from repro.dns.logfmt import DnsTraceReader
 from repro.dns.types import DnsQuery, DnsResponse

@@ -1,6 +1,5 @@
 """Behavior-level tests for specific traffic models in the generator."""
 
-import numpy as np
 import pytest
 
 from repro.simulation import SimulationConfig, TraceGenerator

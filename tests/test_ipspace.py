@@ -1,6 +1,5 @@
 """Unit tests for IP space allocation and rotating pools."""
 
-import numpy as np
 import pytest
 
 from repro.simulation.ipspace import IpSpace, ProviderBlock, RotatingPool

@@ -146,3 +146,49 @@ class TestLineEmbeddingApi:
         assert np.array_equal(matrix[0], clique_embedding.vector("b0"))
         assert np.array_equal(matrix[1], clique_embedding.vector("a0"))
         assert np.all(matrix[2] == 0)
+
+
+class _ProgressRecorder:
+    def __init__(self):
+        self.calls = []
+
+    def on_epoch(self, epoch, total, loss):
+        self.calls.append((epoch, total, loss))
+
+
+class TestTrainLineProgress:
+    def test_progress_reports_cover_training(self):
+        recorder = _ProgressRecorder()
+        train_line(
+            two_cliques_graph(),
+            LineConfig(dimension=8, total_samples=50_000, seed=3),
+            progress=recorder,
+        )
+        assert recorder.calls, "expected progress reports"
+        epochs = [epoch for epoch, __, __ in recorder.calls]
+        totals = {total for __, total, __ in recorder.calls}
+        # order="both" trains two orders of up to 10 reports each.
+        assert totals == {20}
+        assert epochs == sorted(epochs)
+        assert epochs[-1] == 20
+        assert all(np.isfinite(loss) for __, __, loss in recorder.calls)
+
+    def test_progress_does_not_change_vectors(self):
+        config = LineConfig(dimension=8, total_samples=20_000, seed=5)
+        plain = train_line(two_cliques_graph(), config)
+        with_progress = train_line(
+            two_cliques_graph(), config, progress=_ProgressRecorder()
+        )
+        assert np.array_equal(plain.vectors, with_progress.vectors)
+
+    def test_line_counters_recorded(self):
+        from repro.obs.metrics import default_registry
+
+        before = default_registry().counter("line.trainings").value
+        train_line(
+            two_cliques_graph(),
+            LineConfig(dimension=8, total_samples=5_000, seed=1),
+        )
+        registry = default_registry()
+        assert registry.counter("line.trainings").value == before + 1
+        assert registry.counter("line.edges_sampled").value >= 5_000

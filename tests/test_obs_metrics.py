@@ -1,0 +1,197 @@
+"""Tests for repro.obs.metrics and the snapshot/export round-trip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA_VERSION,
+    load_snapshot,
+    snapshot_to_dict,
+    write_snapshot,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(2)
+        assert counter.snapshot() == {"value": 2.0}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-2.5)
+        assert gauge.value == 7.5
+
+    def test_can_go_negative(self):
+        gauge = Gauge("g")
+        gauge.add(-3)
+        assert gauge.value == -3.0
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max_mean(self):
+        hist = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(13.0)
+        assert hist.min == 0.5
+        assert hist.max == 8.0
+        assert hist.mean == pytest.approx(3.25)
+
+    def test_empty_histogram_reports_zeros(self):
+        hist = Histogram("h")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(95) == 0.0
+
+    def test_bucket_assignment_includes_upper_bound(self):
+        hist = Histogram("h", buckets=[1.0, 2.0])
+        hist.observe(1.0)  # lands in the <= 1.0 bucket
+        hist.observe(2.5)  # lands in the overflow bucket
+        snap = hist.snapshot()
+        assert snap["buckets"]["le_1"] == 1
+        assert snap["buckets"]["le_2"] == 0
+        assert snap["buckets"]["le_inf"] == 1
+
+    def test_percentiles_are_ordered_and_bounded(self):
+        hist = Histogram("h", buckets=list(DEFAULT_TIME_BUCKETS))
+        values = [0.001 * (i + 1) for i in range(100)]
+        for value in values:
+            hist.observe(value)
+        p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
+        assert hist.min <= p50 <= p95 <= p99 <= hist.max
+
+    def test_overflow_percentile_is_observed_max(self):
+        hist = Histogram("h", buckets=[1.0])
+        hist.observe(50.0)
+        assert hist.percentile(99) == 50.0
+
+    def test_percentile_range_validated(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_rejects_empty_and_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[1.0, 1.0])
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("x").value == 0.0
+
+    def test_contains_get_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert "a" in registry and "b" in registry and "c" not in registry
+        assert registry.get("c") is None
+        assert registry.names() == ["a", "b"]
+
+    def test_default_registry_is_process_global(self):
+        assert default_registry() is default_registry()
+
+    def test_thread_safety_smoke(self):
+        """Concurrent increments from several threads are all counted."""
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 2000
+
+        def work():
+            counter = registry.counter("shared")
+            hist = registry.histogram("lat", buckets=[0.5, 1.0])
+            for i in range(per_thread):
+                counter.inc()
+                hist.observe((i % 3) / 2.0)
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("shared").value == threads_n * per_thread
+        assert registry.histogram("lat").count == threads_n * per_thread
+
+
+class TestSnapshotRoundTrip:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("records").inc(42)
+        registry.gauge("size").set(7.5)
+        hist = registry.histogram("stage.x.seconds", buckets=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(2.0)
+        return registry
+
+    def test_snapshot_schema(self):
+        snap = snapshot_to_dict(self._populated())
+        assert snap["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+        assert snap["counters"]["records"]["value"] == 42.0
+        assert snap["gauges"]["size"]["value"] == 7.5
+        hist = snap["histograms"]["stage.x.seconds"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(2.05)
+        assert hist["buckets"] == {"le_0.1": 1, "le_1": 0, "le_inf": 1}
+
+    def test_snapshot_is_json_serializable(self):
+        json.dumps(snapshot_to_dict(self._populated()))
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        registry = self._populated()
+        path = write_snapshot(registry, tmp_path / "nested" / "metrics.json")
+        assert path.exists()
+        assert load_snapshot(path) == snapshot_to_dict(registry)
+
+    def test_registry_snapshot_method_matches_export(self):
+        registry = self._populated()
+        assert registry.snapshot() == snapshot_to_dict(registry)

@@ -1,0 +1,195 @@
+"""Tests for repro.obs.tracing, the timing table, logging, and progress."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.export import render_timing_table
+from repro.obs.logging import configure, format_fields, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import (
+    FanoutProgress,
+    LoggingProgress,
+    MetricsProgress,
+    ProgressCallback,
+)
+from repro.obs.tracing import Span, current_span, trace
+
+
+class TestTrace:
+    def test_records_histogram_and_counter(self):
+        registry = MetricsRegistry()
+        with trace("stage_a", registry):
+            pass
+        assert registry.counter("stage.stage_a.calls").value == 1.0
+        hist = registry.histogram("stage.stage_a.seconds")
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_span_elapsed_fills_in_at_exit(self):
+        registry = MetricsRegistry()
+        with trace("x", registry) as span:
+            assert span.elapsed is None
+        assert span.elapsed is not None and span.elapsed >= 0.0
+
+    def test_nested_spans_have_paths_and_depths(self):
+        registry = MetricsRegistry()
+        with trace("pipeline", registry) as outer:
+            with trace("view", registry) as middle:
+                with trace("epoch", registry) as inner:
+                    assert inner.path == "pipeline.view.epoch"
+        assert outer.depth == 0 and middle.depth == 1 and inner.depth == 2
+        # Nested spans keep their own metric names.
+        assert "stage.view.seconds" in registry
+        assert "stage.epoch.seconds" in registry
+
+    def test_nesting_stack_unwinds(self):
+        registry = MetricsRegistry()
+        assert current_span() is None
+        with trace("a", registry):
+            assert current_span().name == "a"
+            with trace("b", registry):
+                assert current_span().name == "b"
+            assert current_span().name == "a"
+        assert current_span() is None
+
+    def test_stage_recorded_even_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with trace("failing", registry):
+                raise RuntimeError("boom")
+        assert registry.counter("stage.failing.calls").value == 1.0
+        assert current_span() is None
+
+    def test_each_call_accumulates(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with trace("loop", registry):
+                pass
+        assert registry.histogram("stage.loop.seconds").count == 3
+
+    def test_span_direct_use_and_validation(self):
+        registry = MetricsRegistry()
+        with Span("direct", registry):
+            pass
+        assert registry.counter("stage.direct.calls").value == 1.0
+        with pytest.raises(ValueError):
+            Span("")
+
+
+class TestTimingTable:
+    def test_empty_registry_placeholder(self):
+        assert render_timing_table(MetricsRegistry()) == "(no stages traced)"
+
+    def test_table_lists_stages_in_execution_order(self):
+        registry = MetricsRegistry()
+        for name in ("graph_build", "pruning", "embedding"):
+            with trace(name, registry):
+                pass
+        table = render_timing_table(registry)
+        lines = table.splitlines()
+        assert lines[0].split() == [
+            "stage", "calls", "total", "mean", "p50", "p95", "max",
+        ]
+        stages = [line.split()[0] for line in lines[2:]]
+        assert stages == ["graph_build", "pruning", "embedding"]
+
+    def test_table_ignores_non_stage_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("records").inc()
+        registry.histogram("other.latency").observe(1.0)
+        with trace("only_stage", registry):
+            pass
+        table = render_timing_table(registry)
+        assert "only_stage" in table
+        assert "records" not in table and "other.latency" not in table
+
+
+class TestStructuredLogging:
+    def test_format_fields_quotes_awkward_values(self):
+        line = format_fields("started", {"a": 1, "b": "two words", "c": True})
+        assert line == 'event=started a=1 b="two words" c=true'
+
+    def test_get_logger_roots_under_repro(self):
+        assert get_logger("core.pipeline").name == "repro.core.pipeline"
+        assert get_logger("repro.core.pipeline").name == "repro.core.pipeline"
+
+    def test_configure_verbosity_levels(self):
+        root = configure(0)
+        assert root.level == logging.WARNING
+        root = configure(1)
+        assert root.level == logging.INFO
+        root = configure(2)
+        assert root.level == logging.DEBUG
+
+    def test_configure_is_idempotent(self):
+        before = len(configure(1).handlers)
+        after = len(configure(1).handlers)
+        assert before == after
+
+    def test_log_lines_are_logfmt(self):
+        stream = io.StringIO()
+        configure(1, stream=stream)
+        get_logger("obs.test").info("unit_event", n=3, what="a b")
+        line = stream.getvalue().strip()
+        assert "level=info" in line
+        assert "logger=repro.obs.test" in line
+        assert 'event=unit_event n=3 what="a b"' in line
+        configure(0)  # restore default quietness for other tests
+
+    def test_bound_fields_appear_on_every_line(self):
+        stream = io.StringIO()
+        configure(1, stream=stream)
+        log = get_logger("obs.test").bind(run="r1")
+        log.info("first")
+        log.info("second", extra_field=2)
+        lines = stream.getvalue().strip().splitlines()
+        assert all("run=r1" in line for line in lines)
+        configure(0)
+
+    def test_disabled_level_emits_nothing(self):
+        stream = io.StringIO()
+        configure(0, stream=stream)
+        get_logger("obs.test").debug("hidden")
+        get_logger("obs.test").info("hidden_too")
+        assert stream.getvalue() == ""
+
+
+class _Recorder:
+    def __init__(self):
+        self.calls = []
+
+    def on_epoch(self, epoch, total, loss):
+        self.calls.append((epoch, total, loss))
+
+
+class TestProgress:
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(_Recorder(), ProgressCallback)
+        assert isinstance(LoggingProgress("x"), ProgressCallback)
+        assert isinstance(MetricsProgress("x"), ProgressCallback)
+
+    def test_metrics_progress_records_gauges(self):
+        registry = MetricsRegistry()
+        progress = MetricsProgress("line.query", registry)
+        progress.on_epoch(1, 10, 0.9)
+        progress.on_epoch(2, 10, 0.5)
+        assert registry.gauge("line.query.epoch").value == 2.0
+        assert registry.gauge("line.query.loss").value == 0.5
+        assert registry.counter("line.query.epochs_done").value == 2.0
+
+    def test_fanout_forwards_in_order(self):
+        first, second = _Recorder(), _Recorder()
+        FanoutProgress(first, second).on_epoch(3, 5, 0.1)
+        assert first.calls == [(3, 5, 0.1)]
+        assert second.calls == [(3, 5, 0.1)]
+
+    def test_logging_progress_logs_epoch_event(self):
+        stream = io.StringIO()
+        configure(1, stream=stream)
+        LoggingProgress("line.ip").on_epoch(2, 20, 0.25)
+        line = stream.getvalue()
+        assert "event=epoch" in line and "task=line.ip" in line
+        assert "epoch=2" in line and "loss=0.25" in line
+        configure(0)

@@ -1,6 +1,5 @@
 """Unit tests for one-mode projection with Jaccard weights."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphConstructionError

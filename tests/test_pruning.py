@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
+from repro.graphs.pruning import PruningRules, prune_graphs
 
 
 def make_graphs():

@@ -1,6 +1,5 @@
 """Tests for the streaming / incremental detection mode."""
 
-import numpy as np
 import pytest
 
 from repro import (
