@@ -26,6 +26,7 @@ from repro.graphs import (
     SimilarityGraph,
     project_to_similarity,
 )
+from repro.parallel import ParallelConfig
 from repro.labels import (
     IntelligenceFeed,
     LabeledDataset,
@@ -49,6 +50,7 @@ __all__ = [
     "LineEmbedding",
     "MaliciousDomainClassifier",
     "MaliciousDomainDetector",
+    "ParallelConfig",
     "PipelineConfig",
     "PruningRules",
     "SimilarityGraph",

@@ -16,6 +16,11 @@ structured logfmt logs on stderr; ``detect`` and ``cluster`` print a
 per-stage timing table and accept ``--metrics-out PATH`` to dump the
 full metrics snapshot as JSON (see docs/observability.md). Bad input
 paths exit with status 2 instead of a traceback.
+
+Parallelism: ``detect`` and ``cluster`` accept ``--workers N`` (``0``
+serial, ``auto`` one per CPU) and ``--parallel-backend`` to fan the
+embedding stage out over workers; embeddings are byte-identical to the
+serial run for the same seed (see docs/parallelism.md).
 """
 
 from __future__ import annotations
@@ -48,6 +53,7 @@ from repro.labels import (
 )
 from repro.obs import configure as configure_logging
 from repro.obs import default_registry, get_logger
+from repro.parallel import BACKENDS, ParallelConfig
 from repro.obs.export import render_timing_table, write_snapshot
 from repro.simulation import SimulationConfig, TraceGenerator
 from repro.simulation.groundtruth import GroundTruth
@@ -99,9 +105,27 @@ def _load_trace_dir(directory: Path):
     return queries, responses, dhcp, truth
 
 
+def _parse_workers(value: str) -> int | str:
+    """Argparse type for ``--workers``: ``"auto"`` or a non-negative int."""
+    if value == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError("workers must be non-negative")
+    return workers
+
+
 def _build_detector(args, queries, responses, dhcp) -> MaliciousDomainDetector:
     config = PipelineConfig(
-        embedding=LineConfig(dimension=args.dimension, seed=args.seed)
+        embedding=LineConfig(dimension=args.dimension, seed=args.seed),
+        parallel=ParallelConfig(
+            workers=args.workers, backend=args.parallel_backend
+        ),
     )
     detector = MaliciousDomainDetector(config)
     detector.build_graphs(queries, responses, dhcp)
@@ -264,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--dimension", type=int, default=16)
     p_detect.add_argument("--seed", type=int, default=13)
     p_detect.add_argument("--top", type=int, default=15)
+    p_detect.add_argument("--workers", type=_parse_workers, default=0,
+                          metavar="N",
+                          help="embedding workers: 0 serial (default), "
+                          "'auto' for one per CPU, or a count")
+    p_detect.add_argument("--parallel-backend", choices=list(BACKENDS),
+                          default="process",
+                          help="worker backend when --workers > 1")
     p_detect.add_argument("--metrics-out", metavar="PATH", default=None,
                           help="write a JSON metrics snapshot to PATH")
     p_detect.set_defaults(handler=cmd_detect)
@@ -274,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--dimension", type=int, default=16)
     p_cluster.add_argument("--seed", type=int, default=13)
     p_cluster.add_argument("--k-max", type=int, default=50)
+    p_cluster.add_argument("--workers", type=_parse_workers, default=0,
+                           metavar="N",
+                           help="embedding workers: 0 serial (default), "
+                           "'auto' for one per CPU, or a count")
+    p_cluster.add_argument("--parallel-backend", choices=list(BACKENDS),
+                           default="process",
+                           help="worker backend when --workers > 1")
     p_cluster.add_argument("--metrics-out", metavar="PATH", default=None,
                            help="write a JSON metrics snapshot to PATH")
     p_cluster.set_defaults(handler=cmd_cluster)

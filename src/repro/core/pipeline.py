@@ -14,7 +14,7 @@ experiments) and a convenience :meth:`process` that runs 1-3 in order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -24,7 +24,7 @@ from repro.core.detector import MaliciousDomainClassifier
 from repro.core.features import FeatureSpace, FeatureView
 from repro.dns.dhcp import DhcpLog, HostIdentityResolver
 from repro.dns.types import DnsQuery, DnsResponse
-from repro.embedding.line import LineConfig, LineEmbedding, train_line
+from repro.embedding.line import LineConfig, LineEmbedding
 from repro.errors import GraphConstructionError, NotFittedError
 from repro.graphs.bipartite import (
     BipartiteGraph,
@@ -37,6 +37,8 @@ from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
 from repro.labels.dataset import LabeledDataset
 from repro.obs.logging import get_logger
 from repro.obs.tracing import trace
+from repro.parallel.executor import ParallelConfig
+from repro.parallel.train import train_views
 
 _log = get_logger(__name__)
 
@@ -68,6 +70,11 @@ class PipelineConfig:
         pruning: Graph pruning rules (paper defaults).
         embedding: LINE hyperparameter template; per-view seeds are
             derived from its seed so the three views train independently.
+        parallel: Worker policy for the embedding stage — the three
+            views (and both orders of ``order="both"``) train as
+            independent tasks under it. The default (``workers=0``) is
+            fully serial; any backend produces byte-identical
+            embeddings for the same seed (see ``docs/parallelism.md``).
         min_similarity: Projection edge threshold (near-zero keeps all
             overlaps).
         views: Feature views used for classification; the default is all
@@ -77,6 +84,7 @@ class PipelineConfig:
     time_window_seconds: float = 60.0
     pruning: PruningRules = field(default_factory=PruningRules)
     embedding: LineConfig = field(default_factory=LineConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
     min_similarity: float = 1e-9
     views: tuple[FeatureView, ...] = (
         FeatureView.QUERY,
@@ -210,42 +218,39 @@ class MaliciousDomainDetector:
     # Stage 3b: embeddings
 
     def _line_config_for(self, view: FeatureView) -> LineConfig:
+        # Derived, not shared: each view trains from its own seed offset
+        # so the three views are independent tasks (serial or parallel).
         base = self.config.embedding
         offsets = {FeatureView.QUERY: 0, FeatureView.IP: 1, FeatureView.TEMPORAL: 2}
-        return LineConfig(
-            dimension=base.dimension,
-            order=base.order,
-            negatives=base.negatives,
-            total_samples=base.total_samples,
-            batch_size=base.batch_size,
-            initial_lr=base.initial_lr,
-            normalize=base.normalize,
-            seed=base.seed + offsets[view],
-        )
+        return replace(base, seed=base.seed + offsets[view])
 
     def learn_embeddings(self, progress=None) -> FeatureSpace:
         """Train LINE per view and assemble the feature space.
 
+        The per-view trainings (and, for ``order="both"``, the per-order
+        halves) run under ``config.parallel`` — serially by default,
+        fanned out over thread or process workers when configured. The
+        resulting vectors are byte-identical either way.
+
         Args:
             progress: Optional :class:`repro.obs.ProgressCallback`
-                forwarded to every per-view LINE training loop.
+                forwarded to every per-view LINE training loop (reports
+                interleave across views when they train concurrently).
         """
         if not self.similarity_graphs:
             self.build_similarity_graphs()
-        embeddings: dict[FeatureView, LineEmbedding] = {}
         with trace(STAGE_EMBEDDING):
-            for view, graph in self.similarity_graphs.items():
-                with trace(f"{STAGE_EMBEDDING}.{view.value}") as span:
-                    embeddings[view] = train_line(
-                        graph, self._line_config_for(view), progress=progress
-                    )
-                _log.debug(
-                    "view_embedded",
-                    view=view.value,
-                    nodes=graph.node_count,
-                    edges=graph.edge_count,
-                    seconds=span.elapsed,
-                )
+            trained = train_views(
+                [
+                    (view.value, graph, self._line_config_for(view))
+                    for view, graph in self.similarity_graphs.items()
+                ],
+                self.config.parallel,
+                progress=progress,
+            )
+        embeddings: dict[FeatureView, LineEmbedding] = {
+            view: trained[view.value] for view in self.similarity_graphs
+        }
         self.feature_space = FeatureSpace(
             query=embeddings[FeatureView.QUERY],
             ip=embeddings[FeatureView.IP],

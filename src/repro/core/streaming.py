@@ -20,11 +20,13 @@ with line-rate traffic, and it is O(1) per record here.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Iterable
 
 import numpy as np
 
 from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.parallel.executor import ParallelConfig
 from repro.dns.dhcp import DhcpLog, HostIdentityResolver
 from repro.dns.names import is_valid_domain_name
 from repro.dns.psl import PublicSuffixList, default_psl
@@ -133,8 +135,19 @@ class StreamingDetector:
         self,
         config: PipelineConfig | None = None,
         dhcp: DhcpLog | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> None:
+        """Args:
+            config: Pipeline knobs for each refresh's model rebuild.
+            dhcp: Optional DHCP log for host-identity resolution.
+            parallel: Overrides ``config.parallel`` for the embedding
+                stage of every refresh — the knob that bounds
+                model-refresh latency in deployments where traffic keeps
+                arriving while the model retrains.
+        """
         self.config = config or PipelineConfig()
+        if parallel is not None:
+            self.config = replace(self.config, parallel=parallel)
         self.builder = IncrementalGraphBuilder(
             dhcp=dhcp, time_window_seconds=self.config.time_window_seconds
         )
@@ -174,6 +187,8 @@ class StreamingDetector:
             domains=len(detector.domains),
             records_ingested=self.builder.records_ingested,
             seconds=elapsed,
+            embedding_backend=self.config.parallel.backend,
+            embedding_workers=self.config.parallel.resolved_workers(),
         )
         return self
 

@@ -16,12 +16,21 @@ proximity (shared neighborhoods). This is a from-scratch reimplementation:
 ``order="both"`` trains first- and second-order embeddings of half the
 requested dimension each and concatenates them, as in the LINE paper's
 experiments.
+
+Training decomposes into independent single-order *tasks* (planned by
+:func:`repro.parallel.partition.plan_line_tasks`): each order draws its
+generator from its own ``SeedSequence`` child of ``config.seed``, so the
+orders share nothing and can run serially here or on workers via
+``train_line(..., parallel=ParallelConfig(...))`` — with byte-identical
+results either way (LINE's lock-free asynchronous updates, Tang et al.,
+realized as task-level rather than row-level parallelism).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +38,9 @@ from repro.embedding.alias import AliasSampler
 from repro.errors import EmbeddingError
 from repro.graphs.projection import SimilarityGraph
 from repro.obs.metrics import default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.parallel.executor import ParallelConfig
 
 _SCORE_CLIP = 10.0
 
@@ -79,12 +91,23 @@ class LineConfig:
             raise EmbeddingError("order='both' needs an even dimension")
         if self.negatives < 1:
             raise EmbeddingError("negatives must be at least 1")
+        if self.total_samples is not None and self.total_samples < 1:
+            raise EmbeddingError(
+                "total_samples must be at least 1 when set (use None to "
+                "auto-scale with graph size)"
+            )
         if self.batch_size < 1:
             raise EmbeddingError("batch_size must be at least 1")
         if self.initial_lr <= 0:
             raise EmbeddingError("initial_lr must be positive")
         if self.vector_scale <= 0:
             raise EmbeddingError("vector_scale must be positive")
+        if isinstance(self.seed, bool) or not isinstance(
+            self.seed, (int, np.integer)
+        ):
+            raise EmbeddingError(
+                f"seed must be an integer, got {type(self.seed).__name__}"
+            )
 
     def resolved_samples(self, edge_count: int) -> int:
         if self.total_samples is not None:
@@ -247,10 +270,34 @@ def _train_single_order(
     return vertex
 
 
+def _finalize_vectors(vectors: np.ndarray, config: LineConfig) -> np.ndarray:
+    """Apply the ``normalize`` / ``vector_scale`` contract to raw output.
+
+    Zero rows (domains with no sampled evidence) stay zero — they mean
+    "no behavioral signal", and scaling them would invent one.
+    """
+    if not config.normalize:
+        return vectors
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return np.where(
+        norms > 1e-12, vectors / norms * config.vector_scale, vectors
+    )
+
+
+def _record_training_metrics(total_samples: int, elapsed: float) -> None:
+    """Record one training run's ``line.*`` counters and throughput."""
+    registry = default_registry()
+    registry.counter("line.edges_sampled").inc(total_samples)
+    registry.counter("line.trainings").inc()
+    if elapsed > 0:
+        registry.gauge("line.edges_per_sec").set(total_samples / elapsed)
+
+
 def train_line(
     graph: SimilarityGraph,
     config: LineConfig | None = None,
     progress=None,
+    parallel: "ParallelConfig | None" = None,
 ) -> LineEmbedding:
     """Embed a similarity graph with LINE.
 
@@ -262,13 +309,23 @@ def train_line(
             ~10 ``on_epoch(epoch, total, loss)`` reports per trained
             order with the mean negative-sampling loss since the last
             report. ``None`` (the default) skips all loss bookkeeping.
+        parallel: Optional :class:`repro.parallel.ParallelConfig`; when
+            it resolves to a pool backend, ``order="both"`` trains its
+            two orders on workers concurrently. Output is byte-identical
+            to the serial path for the same seed (see
+            ``docs/parallelism.md``).
 
     Returns:
-        The trained :class:`LineEmbedding` over ``graph.domains``.
+        The trained :class:`LineEmbedding` over ``graph.domains``. The
+        embedding echoes the *validated* config, so downstream consumers
+        can trust its invariants (e.g. ``vector_scale`` only applies
+        when ``normalize`` is set; zero vectors stay zero either way).
 
     Raises:
         EmbeddingError: for empty graphs or invalid hyperparameters.
     """
+    from repro.parallel.partition import plan_line_tasks
+
     if config is None:
         config = LineConfig()
     config.validate()
@@ -283,55 +340,37 @@ def train_line(
             config=config,
         )
 
-    rng = np.random.default_rng(config.seed)
+    tasks = plan_line_tasks(graph.kind, graph.edge_count, config)
+    if parallel is not None:
+        backend = parallel.resolved_backend(sum(t.weight for t in tasks))
+        if backend != "serial":
+            # Deferred import: repro.parallel.train imports this module.
+            from repro.parallel.train import train_views
+
+            return train_views([(graph.kind, graph, config)], parallel,
+                               progress)[graph.kind]
+
     edge_sampler = AliasSampler(graph.weights)
     degrees = graph.degree_array()
     noise_sampler = AliasSampler(np.power(np.maximum(degrees, 1e-12), 0.75))
-    total = config.resolved_samples(graph.edge_count)
 
     started = time.perf_counter()
-    if config.order == "both":
-        half = config.dimension // 2
-        epoch_total = 2 * _REPORTS_PER_ORDER
-        first = _train_single_order(
-            graph.rows, graph.cols, edge_sampler, noise_sampler,
-            graph.node_count, half, False, config, rng, total // 2,
-            progress, 0, epoch_total,
-        )
-        second = _train_single_order(
-            graph.rows, graph.cols, edge_sampler, noise_sampler,
-            graph.node_count, half, True, config, rng, total - total // 2,
-            progress, _REPORTS_PER_ORDER, epoch_total,
-        )
-        vectors = np.hstack([first, second])
-    elif config.order == "first":
-        vectors = _train_single_order(
-            graph.rows, graph.cols, edge_sampler, noise_sampler,
-            graph.node_count, config.dimension, False, config, rng, total,
-            progress, 0, _REPORTS_PER_ORDER,
-        )
-    else:
-        vectors = _train_single_order(
-            graph.rows, graph.cols, edge_sampler, noise_sampler,
-            graph.node_count, config.dimension, True, config, rng, total,
-            progress, 0, _REPORTS_PER_ORDER,
+    vectors = np.empty((graph.node_count, config.dimension))
+    for task in tasks:
+        vectors[:, task.column : task.column + task.dimension] = (
+            _train_single_order(
+                graph.rows, graph.cols, edge_sampler, noise_sampler,
+                graph.node_count, task.dimension, task.use_context, config,
+                np.random.default_rng(task.seed), task.total_samples,
+                progress, task.epoch_offset, task.epoch_total,
+            )
         )
     elapsed = time.perf_counter() - started
+    _record_training_metrics(sum(t.total_samples for t in tasks), elapsed)
 
-    registry = default_registry()
-    registry.counter("line.edges_sampled").inc(total)
-    registry.counter("line.trainings").inc()
-    if elapsed > 0:
-        registry.gauge("line.edges_per_sec").set(total / elapsed)
-
-    if config.normalize:
-        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
-        vectors = np.where(
-            norms > 1e-12, vectors / norms * config.vector_scale, vectors
-        )
     return LineEmbedding(
         kind=graph.kind,
         domains=list(graph.domains),
-        vectors=vectors,
+        vectors=_finalize_vectors(vectors, config),
         config=config,
     )

@@ -28,6 +28,11 @@ from repro.ml import roc_auc_score
 from repro.netflow import NetflowSimulator, mine_cluster_patterns
 from repro.simulation.groundtruth import GroundTruth
 
+# Full pipeline over a fresh trace: by far the slowest file in the
+# suite. The CI matrix deselects it (-m "not slow"); the bench job and
+# plain local `pytest` still run it.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def workspace(tmp_path_factory):

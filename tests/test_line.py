@@ -132,6 +132,19 @@ class TestLineConfigValidation:
         config_fixed = LineConfig(total_samples=1234)
         assert config_fixed.resolved_samples(10) == 1234
 
+    @pytest.mark.parametrize("total_samples", [0, -1, -100])
+    def test_nonpositive_total_samples_rejected(self, total_samples):
+        with pytest.raises(EmbeddingError, match="total_samples"):
+            LineConfig(total_samples=total_samples).validate()
+
+    @pytest.mark.parametrize("seed", [1.5, "7", None, True])
+    def test_non_integer_seed_rejected(self, seed):
+        with pytest.raises(EmbeddingError, match="seed"):
+            LineConfig(seed=seed).validate()
+
+    def test_numpy_integer_seed_accepted(self):
+        LineConfig(seed=np.int64(3)).validate()
+
 
 class TestLineEmbeddingApi:
     def test_vector_lookup(self, clique_embedding):
