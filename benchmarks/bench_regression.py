@@ -46,6 +46,9 @@ TRACKED_METRICS = {
     "stage.projection.seconds": "lower",
     "stage.embedding.seconds": "lower",
     "stage.svm_fit.seconds": "lower",
+    "graph_build_seconds": "lower",
+    "pruning_seconds": "lower",
+    "projection_seconds": "lower",
     "line.edges_per_sec": "higher",
     "alias.build_seconds": "lower",
     "embedding.serial_seconds": "lower",
@@ -89,6 +92,54 @@ def _bench_alias(seed: int, repeats: int) -> dict[str, float]:
     }
 
 
+def _bench_graph_stages(trace, repeats: int) -> dict[str, float]:
+    """Best-of-N wall times for the columnar graph stages in isolation.
+
+    Unlike the ``stage.*`` obs sums (one-shot, measured inside the full
+    pipeline run), these are dedicated best-of-``repeats`` timings of
+    build -> prune -> project on the bare graph layer, so regressions in
+    the columnar core surface even when pipeline noise would hide them.
+    Each build starts from a fresh shared :class:`VertexTable`, matching
+    how the pipeline threads one domain table through all three views.
+    """
+    from repro.graphs import (
+        VertexTable,
+        build_domain_ip_graph,
+        build_query_graphs,
+        project_to_similarity,
+        prune_graphs,
+    )
+
+    queries, responses = trace.queries, trace.responses
+    state: dict[str, object] = {}
+
+    def _build():
+        domains = VertexTable()
+        host, times = build_query_graphs(queries, domains=domains)
+        ips = build_domain_ip_graph(responses, domains=domains)
+        state["graphs"] = (host, ips, times)
+
+    build_seconds = _timed(_build, repeats + 1)
+    host, ips, times = state["graphs"]  # type: ignore[misc]
+
+    def _prune():
+        state["pruned"] = prune_graphs(host, ips, times)
+
+    pruning_seconds = _timed(_prune, repeats + 1)
+    pruned_host, pruned_ips, pruned_times, __ = state["pruned"]  # type: ignore[misc]
+
+    def _project():
+        for graph in (pruned_host, pruned_ips, pruned_times):
+            project_to_similarity(graph)
+
+    projection_seconds = _timed(_project, repeats + 1)
+    return {
+        "graph_build_seconds": build_seconds,
+        "pruning_seconds": pruning_seconds,
+        "projection_seconds": projection_seconds,
+    }
+
+
 def _stage_seconds(snapshot: dict) -> dict[str, float]:
     """Total wall time per traced stage from an obs snapshot dict."""
     stages = {}
@@ -119,6 +170,8 @@ def run_benchmark(args: argparse.Namespace) -> dict:
     metrics.update(_bench_alias(args.seed, args.repeats))
 
     trace = TraceGenerator(SimulationConfig.tiny(seed=args.seed)).generate()
+    metrics.update(_bench_graph_stages(trace, args.repeats))
+
     registry = default_registry()
     registry.reset()
 

@@ -24,6 +24,7 @@ from repro.graphs import (
     BipartiteGraph,
     PruningRules,
     SimilarityGraph,
+    VertexTable,
     project_to_similarity,
 )
 from repro.parallel import ParallelConfig
@@ -59,6 +60,7 @@ __all__ = [
     "SimulatedVirusTotal",
     "SimulationConfig",
     "TraceGenerator",
+    "VertexTable",
     "build_labeled_dataset",
     "expand_from_seeds",
     "obs",

@@ -13,9 +13,11 @@ from repro.core.clustering import (
 from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
 from repro.core.streaming import IncrementalGraphBuilder, StreamingDetector
 from repro.core.persistence import (
+    load_bipartite_graph,
     load_embedding,
     load_feature_space,
     load_similarity_graph,
+    save_bipartite_graph,
     save_embedding,
     save_feature_space,
     save_similarity_graph,
@@ -24,9 +26,11 @@ from repro.core.persistence import (
 __all__ = [
     "IncrementalGraphBuilder",
     "StreamingDetector",
+    "load_bipartite_graph",
     "load_embedding",
     "load_feature_space",
     "load_similarity_graph",
+    "save_bipartite_graph",
     "save_embedding",
     "save_feature_space",
     "save_similarity_graph",

@@ -17,6 +17,8 @@ import numpy as np
 from repro.core.features import FeatureSpace
 from repro.embedding.line import LineConfig, LineEmbedding
 from repro.errors import DatasetError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.core import EdgeList, VertexTable
 from repro.graphs.projection import SimilarityGraph
 
 _FORMAT_VERSION = 1
@@ -70,6 +72,55 @@ def load_feature_space(directory: str | Path) -> FeatureSpace:
         ip=load_embedding(directory / "ip.npz"),
         temporal=load_embedding(directory / "temporal.npz"),
     )
+
+
+def save_bipartite_graph(graph: BipartiteGraph, path: str | Path) -> None:
+    """Write one bipartite graph as ``<path>`` (.npz).
+
+    The columnar representation persists directly: both vertex-table
+    interners (values as unicode strings plus a type-code column, so
+    integer time-window vertices round-trip without pickle) and the
+    deduplicated ``(left_id, right_id)`` edge arrays.
+    """
+    left_values, left_codes = graph.left.to_arrays()
+    right_values, right_codes = graph.right.to_arrays()
+    lefts, rights = graph.edges.columns()
+    np.savez_compressed(
+        Path(path),
+        kind=np.array(graph.kind),
+        left_values=left_values,
+        left_codes=left_codes,
+        right_values=right_values,
+        right_codes=right_codes,
+        lefts=lefts,
+        rights=rights,
+        format_version=np.array(_FORMAT_VERSION),
+    )
+
+
+def load_bipartite_graph(path: str | Path) -> BipartiteGraph:
+    """Read a graph written by :func:`save_bipartite_graph`."""
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported bipartite graph format version {version}"
+            )
+        left = VertexTable.from_arrays(
+            archive["left_values"], archive["left_codes"]
+        )
+        right = VertexTable.from_arrays(
+            archive["right_values"], archive["right_codes"]
+        )
+        edges = EdgeList()
+        edges.extend_raw(
+            np.asarray(archive["lefts"], dtype=np.int64),
+            np.asarray(archive["rights"], dtype=np.int64),
+        )
+        edges.compact()
+        return BipartiteGraph(
+            kind=str(archive["kind"]), left=left, right=right, edges=edges
+        )
 
 
 def save_similarity_graph(graph: SimilarityGraph, path: str | Path) -> None:

@@ -29,13 +29,14 @@ from repro.errors import GraphConstructionError, NotFittedError
 from repro.graphs.bipartite import (
     BipartiteGraph,
     build_domain_ip_graph,
-    build_domain_time_graph,
-    build_host_domain_graph,
+    build_query_graphs,
 )
+from repro.graphs.core import VertexTable
 from repro.graphs.projection import SimilarityGraph, project_to_similarity
 from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
 from repro.labels.dataset import LabeledDataset
 from repro.obs.logging import get_logger
+from repro.obs.progress import ProgressCallback
 from repro.obs.tracing import trace
 from repro.parallel.executor import ParallelConfig
 from repro.parallel.train import train_views
@@ -128,11 +129,17 @@ class MaliciousDomainDetector:
         with trace(STAGE_GRAPH_BUILD):
             identity = HostIdentityResolver(dhcp) if dhcp is not None else None
             queries = list(queries)
-            host_domain = build_host_domain_graph(queries, identity)
-            domain_ip = build_domain_ip_graph(responses)
-            domain_time = build_domain_time_graph(
-                queries, window_seconds=self.config.time_window_seconds
+            # One shared domain interner across all three views: ids (and
+            # therefore every downstream ordering) agree without
+            # re-sorting, and HDBG + DTBG come from a single pass.
+            domains = VertexTable()
+            host_domain, domain_time = build_query_graphs(
+                queries,
+                identity,
+                window_seconds=self.config.time_window_seconds,
+                domains=domains,
             )
+            domain_ip = build_domain_ip_graph(responses, domains=domains)
         with trace(STAGE_PRUNING):
             (
                 self.host_domain,
@@ -224,7 +231,9 @@ class MaliciousDomainDetector:
         offsets = {FeatureView.QUERY: 0, FeatureView.IP: 1, FeatureView.TEMPORAL: 2}
         return replace(base, seed=base.seed + offsets[view])
 
-    def learn_embeddings(self, progress=None) -> FeatureSpace:
+    def learn_embeddings(
+        self, progress: "ProgressCallback | None" = None
+    ) -> FeatureSpace:
         """Train LINE per view and assemble the feature space.
 
         The per-view trainings (and, for ``order="both"``, the per-order

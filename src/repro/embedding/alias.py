@@ -89,7 +89,10 @@ def build_alias_tables(
         raise ValueError("weights must sum to a positive value")
 
     n = weights.size
-    scaled = weights * (n / total)
+    # Normalize before multiplying by n: computing the factor n/total
+    # first overflows to inf for denormal totals (total < n/float_max),
+    # and 0.0 * inf then poisons zero-weight slots with NaN.
+    scaled = (weights / total) * n
     # Slots start self-aliased at probability 1; pairing only rewrites
     # the under-full ones, so leftovers need no cleanup pass.
     prob = np.ones(n)

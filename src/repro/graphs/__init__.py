@@ -8,11 +8,14 @@ weights are Jaccard indices (equations 1-3).
 """
 
 from repro.graphs.bipartite import (
+    AdjacencyView,
     BipartiteGraph,
     build_domain_ip_graph,
     build_domain_time_graph,
     build_host_domain_graph,
+    build_query_graphs,
 )
+from repro.graphs.core import EdgeList, VertexTable
 from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
 from repro.graphs.projection import SimilarityGraph, project_to_similarity
 from repro.graphs.host_projection import (
@@ -23,17 +26,21 @@ from repro.graphs.host_projection import (
 )
 
 __all__ = [
+    "AdjacencyView",
     "BipartiteGraph",
+    "EdgeList",
     "InfectedHostGroup",
     "PruningReport",
     "PruningRules",
     "SimilarityGraph",
+    "VertexTable",
     "find_infected_host_groups",
     "project_hosts",
     "transpose_bipartite",
     "build_domain_ip_graph",
     "build_domain_time_graph",
     "build_host_domain_graph",
+    "build_query_graphs",
     "project_to_similarity",
     "prune_graphs",
 ]

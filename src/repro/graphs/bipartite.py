@@ -4,14 +4,19 @@ All three graph builders aggregate hostnames to e2LDs (pruning rule 3 of
 the paper is applied at construction time, since every later stage works
 at e2LD granularity) and skip syntactically invalid or bare-suffix names.
 
-The graphs store domain adjacency as sets and can export a scipy CSR
-incidence matrix for the projection step.
+Graphs are stored columnar: a :class:`~repro.graphs.core.VertexTable`
+interner per vertex side plus an array-backed
+:class:`~repro.graphs.core.EdgeList` of ``(domain_id, right_id)`` pairs.
+The old ``dict[str, set]`` surface survives as a read-only view
+(:attr:`BipartiteGraph.adjacency`), so callers keep working while
+pruning, projection, and persistence operate on the id arrays directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+import weakref
+from collections.abc import Mapping
+from typing import Hashable, Iterable, Iterator
 
 import numpy as np
 from scipy import sparse
@@ -19,89 +24,232 @@ from scipy import sparse
 from repro.dns.dhcp import HostIdentityResolver
 from repro.dns.names import is_valid_domain_name
 from repro.dns.psl import PublicSuffixList, default_psl
-from repro.dns.types import DnsQuery, DnsResponse
+from repro.dns.types import DnsQuery, DnsResponse, QueryType
 from repro.errors import DomainNameError, GraphConstructionError
+from repro.graphs.core import EdgeList, VertexTable
 
 DEFAULT_TIME_WINDOW_SECONDS = 60.0  # the paper's one-minute windows
 
+#: Cache sentinel for "qname seen, not aggregatable" (ids are >= 0).
+_NO_DOMAIN = -1
+#: Answer records that carry a resolved address.
+_ADDRESS_RTYPES = (QueryType.A, QueryType.AAAA)
 
-@dataclass(slots=True)
+
+class AdjacencyView(Mapping):
+    """Read-only ``domain -> set(right vertices)`` view over the columns.
+
+    Materializes neighbor sets on access; iteration order is the
+    domains' first-edge order, matching the old dict's insertion order.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "BipartiteGraph") -> None:
+        self._graph = graph
+
+    def __getitem__(self, domain: str) -> set[Hashable]:
+        graph = self._graph
+        vid = graph.left.id_of(domain)
+        if vid is None:
+            raise KeyError(domain)
+        ids = graph.edges.neighbors_of_left(vid)
+        if ids.size == 0:
+            raise KeyError(domain)
+        value_of = graph.right.value_of
+        return {value_of(int(i)) for i in ids}
+
+    def __contains__(self, domain: object) -> bool:
+        graph = self._graph
+        vid = graph.left.id_of(domain)  # type: ignore[arg-type]
+        return vid is not None and graph.edges.degree_of_left(vid) > 0
+
+    def __iter__(self) -> Iterator[str]:
+        graph = self._graph
+        value_of = graph.left.value_of
+        return (str(value_of(i)) for i in graph.edges.left_ids_ordered())
+
+    def __len__(self) -> int:
+        return self._graph.edges.left_count()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AdjacencyView):
+            other = dict(other.items())
+        if isinstance(other, Mapping):
+            return dict(self.items()) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(dict(self.items()))
+
+
 class BipartiteGraph:
-    """A domain-vs-X bipartite graph stored as per-domain neighbor sets.
+    """A domain-vs-X bipartite graph over an interned columnar store.
 
     Attributes:
         kind: ``"host"``, ``"ip"``, or ``"time"`` — which right-hand
             vertex set this graph uses.
-        adjacency: domain e2LD -> set of right-hand vertex identifiers.
+        left: Interner for the domain (left) vertex set. Multiple graphs
+            may share one table so their domain ids agree.
+        right: Interner for the right-hand vertex set.
+        edges: The columnar ``(domain_id, right_id)`` edge store.
     """
 
-    kind: str
-    adjacency: dict[str, set[object]] = field(default_factory=dict)
+    __slots__ = ("kind", "left", "right", "edges")
 
-    def add_edge(self, domain: str, right_vertex: object) -> None:
-        self.adjacency.setdefault(domain, set()).add(right_vertex)
+    def __init__(
+        self,
+        kind: str,
+        adjacency: Mapping | None = None,
+        *,
+        left: VertexTable | None = None,
+        right: VertexTable | None = None,
+        edges: EdgeList | None = None,
+    ) -> None:
+        self.kind = kind
+        self.left = left if left is not None else VertexTable()
+        self.right = right if right is not None else VertexTable()
+        self.edges = edges if edges is not None else EdgeList()
+        if adjacency:
+            for domain, neighbors in adjacency.items():
+                for vertex in neighbors:
+                    self.add_edge(domain, vertex)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(kind={self.kind!r}, "
+            f"domains={self.domain_count}, edges={self.edge_count})"
+        )
+
+    def add_edge(self, domain: str, right_vertex: Hashable) -> None:
+        self.edges.add(self.left.intern(domain), self.right.intern(right_vertex))
+
+    @property
+    def adjacency(self) -> AdjacencyView:
+        """The legacy ``dict[str, set]``-shaped read-only view."""
+        return AdjacencyView(self)
 
     @property
     def domains(self) -> list[str]:
-        return list(self.adjacency)
+        value_of = self.left.value_of
+        return [str(value_of(i)) for i in self.edges.left_ids_ordered()]
 
     @property
     def domain_count(self) -> int:
-        return len(self.adjacency)
+        return self.edges.left_count()
 
     @property
-    def right_vertices(self) -> set[object]:
-        merged: set[object] = set()
-        for neighbors in self.adjacency.values():
-            merged |= neighbors
-        return merged
+    def right_vertices(self) -> set[Hashable]:
+        value_of = self.right.value_of
+        return {value_of(int(i)) for i in self.edges.right_ids_used()}
 
     @property
     def edge_count(self) -> int:
-        return sum(len(neighbors) for neighbors in self.adjacency.values())
+        return self.edges.edge_count
 
     def degree(self, domain: str) -> int:
-        return len(self.adjacency.get(domain, ()))
+        vid = self.left.id_of(domain)
+        return 0 if vid is None else self.edges.degree_of_left(vid)
 
-    def neighbors(self, domain: str) -> set[object]:
-        return set(self.adjacency.get(domain, set()))
+    def neighbors(self, domain: str) -> set[Hashable]:
+        vid = self.left.id_of(domain)
+        if vid is None:
+            return set()
+        value_of = self.right.value_of
+        return {value_of(int(i)) for i in self.edges.neighbors_of_left(vid)}
 
     def restrict_to(self, domains: Iterable[str]) -> "BipartiteGraph":
-        """A copy containing only the given domains."""
-        keep = set(domains)
+        """A copy containing only the given domains.
+
+        A vectorized mask over the left-id column; the vertex tables are
+        shared with the original (they are append-only, so ids stay
+        valid), only the edge arrays are filtered.
+        """
+        keep = np.zeros(max(len(self.left), 1), dtype=bool)
+        for domain in domains:
+            vid = self.left.id_of(domain)
+            if vid is not None:
+                keep[vid] = True
+        lefts, rights = self.edges.columns()
+        mask = keep[lefts]
+        edges = EdgeList._from_trusted(lefts[mask], rights[mask])
         return BipartiteGraph(
-            kind=self.kind,
-            adjacency={
-                domain: set(neighbors)
-                for domain, neighbors in self.adjacency.items()
-                if domain in keep
-            },
+            kind=self.kind, left=self.left, right=self.right, edges=edges
         )
 
     def incidence_matrix(
         self, domain_order: list[str] | None = None
-    ) -> tuple[sparse.csr_matrix, list[str], list[object]]:
+    ) -> tuple[sparse.csr_matrix, list[str], list[Hashable]]:
         """Binary CSR incidence matrix (domains x right vertices).
 
         Returns (matrix, domain_order, right_vertex_order). Domains absent
         from the graph produce all-zero rows when ``domain_order`` is
-        supplied explicitly.
+        supplied explicitly. Right vertices follow the interner's typed
+        deterministic order (numbers numerically, then strings
+        lexicographically) — stable across rebuilds, unlike the old
+        ``sorted(key=repr)`` which interleaved mixed int/str keys by
+        their repr text.
         """
+        lefts, rights = self.edges.columns()
         if domain_order is None:
-            domain_order = sorted(self.adjacency)
-        right_order = sorted(self.right_vertices, key=repr)
-        right_index = {vertex: i for i, vertex in enumerate(right_order)}
-        rows: list[int] = []
-        cols: list[int] = []
+            domain_order = sorted(self.domains)
+        right_order = self.right.typed_order(self.edges.right_ids_used())
+        col_of = np.full(max(len(self.right), 1), -1, dtype=np.int64)
+        for col, vertex in enumerate(right_order):
+            col_of[self.right.id_of(vertex)] = col
+        row_of = np.full(max(len(self.left), 1), -1, dtype=np.int64)
         for row, domain in enumerate(domain_order):
-            for vertex in self.adjacency.get(domain, ()):
-                rows.append(row)
-                cols.append(right_index[vertex])
+            vid = self.left.id_of(domain)
+            if vid is not None:
+                row_of[vid] = row
+        rows = row_of[lefts]
+        cols = col_of[rights]
+        mask = rows >= 0
         matrix = sparse.csr_matrix(
-            (np.ones(len(rows), dtype=np.float64), (rows, cols)),
+            (
+                np.ones(int(mask.sum()), dtype=np.float64),
+                (rows[mask], cols[mask]),
+            ),
             shape=(len(domain_order), len(right_order)),
         )
         return matrix, list(domain_order), right_order
+
+    def _incidence_csr(
+        self, domain_order: list[str] | None = None
+    ) -> tuple[sparse.csr_matrix, list[str]]:
+        """Incidence matrix with *arbitrary* column order (projection path).
+
+        One-mode projection sums the right side out, so columns need no
+        deterministic ordering — right ids compress to columns via one
+        ``searchsorted``, skipping the typed sort that
+        :meth:`incidence_matrix` pays for its public contract.
+        """
+        lefts, rights = self.edges.columns()
+        used = self.edges.right_ids_used()
+        cols = np.searchsorted(used, rights)
+        row_of = np.full(max(len(self.left), 1), -1, dtype=np.int64)
+        if domain_order is None:
+            ids = np.asarray(self.edges.left_ids_ordered(), dtype=np.int64)
+            values = np.asarray(self.domains)
+            order = np.argsort(values, kind="stable")
+            row_of[ids[order]] = np.arange(ids.size)
+            domain_order = values[order].tolist()
+        else:
+            id_of = self.left.id_of
+            for row, domain in enumerate(domain_order):
+                vid = id_of(domain)
+                if vid is not None:
+                    row_of[vid] = row
+        rows = row_of[lefts]
+        mask = rows >= 0
+        matrix = sparse.csr_matrix(
+            (
+                np.ones(int(mask.sum()), dtype=np.float64),
+                (rows[mask], cols[mask]),
+            ),
+            shape=(len(domain_order), int(used.size)),
+        )
+        return matrix, list(domain_order)
 
 
 def _e2ld_or_none(qname: str, psl: PublicSuffixList) -> str | None:
@@ -114,10 +262,163 @@ def _e2ld_or_none(qname: str, psl: PublicSuffixList) -> str | None:
         return None
 
 
+#: Per-domain-table qname -> domain-id caches. Keyed weakly by the
+#: VertexTable so that the PSL walk for a given query name runs once per
+#: *table*, not once per builder — the pipeline threads one shared table
+#: through all three views, making HDBG/DTBG/DIBG share aggregation work.
+_QNAME_CACHES: "weakref.WeakKeyDictionary[VertexTable, tuple[PublicSuffixList, dict[str, int]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _qname_cache_for(
+    domains: VertexTable, psl: PublicSuffixList
+) -> dict[str, int]:
+    entry = _QNAME_CACHES.get(domains)
+    if entry is None or entry[0] is not psl:
+        cache: dict[str, int] = {}
+        _QNAME_CACHES[domains] = (psl, cache)
+        return cache
+    return entry[1]
+
+
+def _intern_qnames(
+    qnames: list[str], psl: PublicSuffixList, domains: VertexTable
+) -> np.ndarray:
+    """Domain id per query name (``_NO_DOMAIN`` where not aggregatable).
+
+    Dict-factorized: the PSL walk and interning run once per *unique*
+    name (first occurrence); repeats cost one dict probe inside a
+    ``np.fromiter`` generator, which beats both a full Python loop body
+    and string-sorting ``np.unique`` at every trace size we benchmark.
+    """
+    cache = _qname_cache_for(domains, psl)
+    get = cache.get
+    intern_domain = domains.intern
+
+    def miss(name: str) -> int:
+        e2ld = _e2ld_or_none(name, psl)
+        did = cache[name] = (
+            _NO_DOMAIN if e2ld is None else intern_domain(e2ld)
+        )
+        return did
+
+    return np.fromiter(
+        (
+            did if (did := get(name)) is not None else miss(name)
+            for name in qnames
+        ),
+        dtype=np.int64,
+        count=len(qnames),
+    )
+
+
+def _intern_column(values: list, table: VertexTable) -> np.ndarray:
+    """Intern a per-record value column, one table hit per unique value."""
+    cache: dict[Hashable, int] = {}
+    get = cache.get
+    intern = table.intern
+
+    def miss(value: Hashable) -> int:
+        vid = cache[value] = intern(value)
+        return vid
+
+    return np.fromiter(
+        (
+            vid if (vid := get(value)) is not None else miss(value)
+            for value in values
+        ),
+        dtype=np.int64,
+        count=len(values),
+    )
+
+
+def _accumulate_query_graphs(
+    queries: Iterable[DnsQuery],
+    identity: HostIdentityResolver | None,
+    window_seconds: float,
+    psl: PublicSuffixList,
+    domains: VertexTable,
+    want_host: bool,
+    want_time: bool,
+) -> tuple[BipartiteGraph, BipartiteGraph]:
+    """Columnar build of the host and/or time graphs from ``queries``.
+
+    Instead of a per-record Python loop, each field is pulled into a
+    column, qnames/hosts/windows are factorized with ``np.unique`` (so
+    PSL aggregation and interning run once per distinct value), and the
+    edge arrays land in one bulk extend + vectorized dedup per graph.
+    Record order is preserved, so first-occurrence semantics (and hence
+    ``graph.domains`` ordering) match the incremental path.
+    """
+    if not isinstance(queries, list):
+        queries = list(queries)
+    host_graph = BipartiteGraph(kind="host", left=domains)
+    time_graph = BipartiteGraph(kind="time", left=domains)
+    dids = _intern_qnames([q.qname for q in queries], psl, domains)
+    valid = dids >= 0
+    if want_host:
+        if identity is not None:
+            resolve = identity.resolve_or_ip
+            hosts: list[Hashable] = [
+                resolve(q.source_ip, q.timestamp) for q in queries
+            ]
+        else:
+            hosts = [q.source_ip for q in queries]
+        hids = _intern_column(hosts, host_graph.right)
+        host_graph.edges.extend_raw(dids[valid], hids[valid])
+        host_graph.edges.compact()
+    if want_time:
+        stamps = np.fromiter(
+            (q.timestamp for q in queries), dtype=np.float64,
+            count=len(queries),
+        )
+        windows = np.floor_divide(stamps, window_seconds).astype(np.int64)
+        intern_window = time_graph.right.intern
+        unique, inverse = np.unique(windows, return_inverse=True)
+        per_unique = np.fromiter(
+            (intern_window(int(w)) for w in unique),
+            dtype=np.int64,
+            count=unique.size,
+        )
+        wids = per_unique[inverse]
+        time_graph.edges.extend_raw(dids[valid], wids[valid])
+        time_graph.edges.compact()
+    return host_graph, time_graph
+
+
+def build_query_graphs(
+    queries: Iterable[DnsQuery],
+    identity: HostIdentityResolver | None = None,
+    window_seconds: float = DEFAULT_TIME_WINDOW_SECONDS,
+    psl: PublicSuffixList | None = None,
+    *,
+    domains: VertexTable | None = None,
+) -> tuple[BipartiteGraph, BipartiteGraph]:
+    """Build HDBG and DTBG together in a single pass over the queries.
+
+    Both graphs share the qname aggregation cache and (optionally) one
+    ``domains`` interner, halving the per-record work compared to
+    calling the two single-graph builders separately.
+    """
+    if window_seconds <= 0:
+        raise GraphConstructionError("window_seconds must be positive")
+    if psl is None:
+        psl = default_psl()
+    if domains is None:
+        domains = VertexTable()
+    return _accumulate_query_graphs(
+        queries, identity, window_seconds, psl, domains,
+        want_host=True, want_time=True,
+    )
+
+
 def build_host_domain_graph(
     queries: Iterable[DnsQuery],
     identity: HostIdentityResolver | None = None,
     psl: PublicSuffixList | None = None,
+    *,
+    domains: VertexTable | None = None,
 ) -> BipartiteGraph:
     """Host-domain interaction graph HDBG (paper section 4.1.1).
 
@@ -128,26 +429,20 @@ def build_host_domain_graph(
     """
     if psl is None:
         psl = default_psl()
-    graph = BipartiteGraph(kind="host")
-    cache: dict[str, str | None] = {}
-    for query in queries:
-        e2ld = cache.get(query.qname, "")
-        if e2ld == "":
-            e2ld = _e2ld_or_none(query.qname, psl)
-            cache[query.qname] = e2ld
-        if e2ld is None:
-            continue
-        if identity is not None:
-            host = identity.resolve_or_ip(query.source_ip, query.timestamp)
-        else:
-            host = query.source_ip
-        graph.add_edge(e2ld, host)
-    return graph
+    if domains is None:
+        domains = VertexTable()
+    host_graph, __ = _accumulate_query_graphs(
+        queries, identity, DEFAULT_TIME_WINDOW_SECONDS, psl, domains,
+        want_host=True, want_time=False,
+    )
+    return host_graph
 
 
 def build_domain_ip_graph(
     responses: Iterable[DnsResponse],
     psl: PublicSuffixList | None = None,
+    *,
+    domains: VertexTable | None = None,
 ) -> BipartiteGraph:
     """Domain-IP mapping graph DIBG (paper section 4.1.2).
 
@@ -156,19 +451,26 @@ def build_domain_ip_graph(
     """
     if psl is None:
         psl = default_psl()
-    graph = BipartiteGraph(kind="ip")
-    cache: dict[str, str | None] = {}
+    if domains is None:
+        domains = VertexTable()
+    graph = BipartiteGraph(kind="ip", left=domains)
+    qnames: list[str] = []
+    ips: list[str] = []
+    append_qname = qnames.append
+    append_ip = ips.append
     for response in responses:
         if response.nxdomain:
             continue
-        e2ld = cache.get(response.qname, "")
-        if e2ld == "":
-            e2ld = _e2ld_or_none(response.qname, psl)
-            cache[response.qname] = e2ld
-        if e2ld is None:
-            continue
-        for ip in response.resolved_ips:
-            graph.add_edge(e2ld, ip)
+        name = response.qname
+        for rr in response.answers:
+            if rr.rtype in _ADDRESS_RTYPES:
+                append_qname(name)
+                append_ip(rr.value)
+    dids = _intern_qnames(qnames, psl, domains)
+    iids = _intern_column(ips, graph.right)
+    valid = dids >= 0
+    graph.edges.extend_raw(dids[valid], iids[valid])
+    graph.edges.compact()
     return graph
 
 
@@ -176,6 +478,8 @@ def build_domain_time_graph(
     queries: Iterable[DnsQuery],
     window_seconds: float = DEFAULT_TIME_WINDOW_SECONDS,
     psl: PublicSuffixList | None = None,
+    *,
+    domains: VertexTable | None = None,
 ) -> BipartiteGraph:
     """Domain-time association graph DTBG (paper section 4.1.3).
 
@@ -186,14 +490,10 @@ def build_domain_time_graph(
         raise GraphConstructionError("window_seconds must be positive")
     if psl is None:
         psl = default_psl()
-    graph = BipartiteGraph(kind="time")
-    cache: dict[str, str | None] = {}
-    for query in queries:
-        e2ld = cache.get(query.qname, "")
-        if e2ld == "":
-            e2ld = _e2ld_or_none(query.qname, psl)
-            cache[query.qname] = e2ld
-        if e2ld is None:
-            continue
-        graph.add_edge(e2ld, int(query.timestamp // window_seconds))
-    return graph
+    if domains is None:
+        domains = VertexTable()
+    __, time_graph = _accumulate_query_graphs(
+        queries, None, window_seconds, psl, domains,
+        want_host=False, want_time=True,
+    )
+    return time_graph

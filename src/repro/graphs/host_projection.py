@@ -15,20 +15,24 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.core import EdgeList
 from repro.graphs.projection import SimilarityGraph, project_to_similarity
 
 
 def transpose_bipartite(graph: BipartiteGraph, kind: str = "domain") -> BipartiteGraph:
     """Swap the vertex sets: host -> set(domains) adjacency.
 
-    The result can be fed to the standard one-mode projection, yielding
-    host-host similarity.
+    A column swap on the edge arrays (the vertex tables trade places);
+    no per-edge Python loop. The result can be fed to the standard
+    one-mode projection, yielding host-host similarity.
     """
-    transposed = BipartiteGraph(kind=kind)
-    for domain, hosts in graph.adjacency.items():
-        for host in hosts:
-            transposed.add_edge(host, domain)  # "domain" plays the left role
-    return transposed
+    lefts, rights = graph.edges.columns()
+    edges = EdgeList()
+    edges.extend_raw(rights, lefts)  # hosts play the left role now
+    edges.compact()
+    return BipartiteGraph(
+        kind=kind, left=graph.right, right=graph.left, edges=edges
+    )
 
 
 def project_hosts(
@@ -82,13 +86,13 @@ def find_infected_host_groups(
     ]
     parent = {h: h for h in hosts}
 
-    def find(x):
+    def find(x: str) -> str:
         while parent[x] != x:
             parent[x] = parent[parent[x]]
             x = parent[x]
         return x
 
-    def union(a, b):
+    def union(a: str, b: str) -> None:
         ra, rb = find(a), find(b)
         if ra != rb:
             parent[rb] = ra

@@ -16,10 +16,13 @@ minute windows are shared by many domains).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 from scipy import sparse
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    import networkx as nx
 
 from repro.errors import GraphConstructionError
 from repro.graphs.bipartite import BipartiteGraph
@@ -30,6 +33,10 @@ class SimilarityGraph:
     """A weighted, undirected domain-domain similarity graph.
 
     Edges are stored once with ``row < col``; weights lie in (0, 1].
+    Neighborhood queries go through a lazily built CSR index (the edge
+    arrays are immutable once constructed), making
+    :meth:`weight_between` O(log degree) and :meth:`neighbors_of`
+    O(degree) instead of full-edge-array scans.
     """
 
     kind: str
@@ -38,6 +45,15 @@ class SimilarityGraph:
     cols: np.ndarray
     weights: np.ndarray
     domain_index: dict[str, int] = field(default_factory=dict)
+    _csr_indptr: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _csr_neighbors: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _csr_weights: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.domain_index:
@@ -51,39 +67,64 @@ class SimilarityGraph:
     def edge_count(self) -> int:
         return int(self.rows.size)
 
+    def _ensure_index(self) -> None:
+        """Build the symmetric CSR neighbor index once, on first use."""
+        if self._csr_indptr is not None:
+            return
+        n = self.node_count
+        src = np.concatenate([self.rows, self.cols]).astype(np.int64)
+        dst = np.concatenate([self.cols, self.rows]).astype(np.int64)
+        wgt = np.concatenate([self.weights, self.weights]).astype(np.float64)
+        order = np.lexsort((dst, src))
+        src, dst, wgt = src[order], dst[order], wgt[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        self._csr_indptr = indptr
+        self._csr_neighbors = dst
+        self._csr_weights = wgt
+
     def weight_between(self, domain_a: str, domain_b: str) -> float:
         """Similarity between two domains (0.0 when no edge)."""
         index_a = self.domain_index.get(domain_a)
         index_b = self.domain_index.get(domain_b)
         if index_a is None or index_b is None or index_a == index_b:
             return 0.0
-        low, high = min(index_a, index_b), max(index_a, index_b)
-        mask = (self.rows == low) & (self.cols == high)
-        position = np.flatnonzero(mask)
-        return float(self.weights[position[0]]) if position.size else 0.0
+        self._ensure_index()
+        assert self._csr_indptr is not None
+        assert self._csr_neighbors is not None
+        assert self._csr_weights is not None
+        start = self._csr_indptr[index_a]
+        stop = self._csr_indptr[index_a + 1]
+        hood = self._csr_neighbors[start:stop]
+        position = int(np.searchsorted(hood, index_b))
+        if position < hood.size and int(hood[position]) == index_b:
+            return float(self._csr_weights[start + position])
+        return 0.0
 
     def neighbors_of(self, domain: str) -> list[tuple[str, float]]:
         """All (neighbor, weight) pairs of ``domain``."""
         index = self.domain_index.get(domain)
         if index is None:
             return []
-        result: list[tuple[str, float]] = []
-        for positions, other in (
-            (np.flatnonzero(self.rows == index), self.cols),
-            (np.flatnonzero(self.cols == index), self.rows),
-        ):
-            for position in positions:
-                result.append(
-                    (self.domains[int(other[position])],
-                     float(self.weights[position]))
-                )
-        return result
+        self._ensure_index()
+        assert self._csr_indptr is not None
+        assert self._csr_neighbors is not None
+        assert self._csr_weights is not None
+        start = self._csr_indptr[index]
+        stop = self._csr_indptr[index + 1]
+        return [
+            (self.domains[int(other)], float(weight))
+            for other, weight in zip(
+                self._csr_neighbors[start:stop],
+                self._csr_weights[start:stop],
+            )
+        ]
 
     def iter_edges(self) -> Iterator[tuple[str, str, float]]:
         for row, col, weight in zip(self.rows, self.cols, self.weights):
             yield self.domains[int(row)], self.domains[int(col)], float(weight)
 
-    def to_networkx(self):
+    def to_networkx(self) -> "nx.Graph":
         """Export as a weighted networkx Graph (for analysis/debugging)."""
         import networkx as nx
 
@@ -123,7 +164,7 @@ def project_to_similarity(
     """
     if min_similarity < 0:
         raise GraphConstructionError("min_similarity must be non-negative")
-    matrix, order, __ = graph.incidence_matrix(domain_order)
+    matrix, order = graph._incidence_csr(domain_order)
     n = matrix.shape[0]
     degrees = np.asarray(matrix.sum(axis=1)).ravel()
 
@@ -133,7 +174,10 @@ def project_to_similarity(
     transposed = matrix.T.tocsc()
     for block_start in range(0, n, block_size):
         block_end = min(block_start + block_size, n)
-        block = matrix[block_start:block_end]
+        if block_start == 0 and block_end == n:
+            block = matrix  # single block: skip the row-slice copy
+        else:
+            block = matrix[block_start:block_end]
         # Intersection counts for this row block against all domains.
         intersections = (block @ transposed).tocoo()
         if intersections.nnz == 0:

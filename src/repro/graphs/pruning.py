@@ -18,7 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.core import EdgeList
 
 
 @dataclass(slots=True)
@@ -82,24 +85,48 @@ def prune_graphs(
         rules = PruningRules()
     rules.validate()
 
-    total_hosts = len(host_domain.right_vertices)
+    total_hosts = int(host_domain.edges.right_ids_used().size)
     report = PruningReport(
         total_hosts=total_hosts,
         domains_before=host_domain.domain_count,
     )
     popular_cutoff = rules.popular_host_fraction * max(total_hosts, 1)
-    for domain, hosts in host_domain.adjacency.items():
-        if len(hosts) > popular_cutoff:
-            report.dropped_popular.append(domain)
-        elif len(hosts) < rules.min_hosts:
-            report.dropped_single_host.append(domain)
-        else:
-            report.surviving_domains.add(domain)
 
-    survivors = report.surviving_domains
+    # Rules 1-2 as one vectorized pass over the host-degree array.
+    degrees = host_domain.edges.left_degrees(max(len(host_domain.left), 1))
+    ids = np.asarray(host_domain.edges.left_ids_ordered(), dtype=np.int64)
+    deg = degrees[ids] if ids.size else ids
+    popular = deg > popular_cutoff
+    single = ~popular & (deg < rules.min_hosts)
+    surviving = ~popular & ~single
+    value_of = host_domain.left.value_of
+    report.dropped_popular = [str(value_of(int(i))) for i in ids[popular]]
+    report.dropped_single_host = [
+        str(value_of(int(i))) for i in ids[single]
+    ]
+    surviving_ids = ids[surviving]
+    report.surviving_domains = {
+        str(value_of(int(i))) for i in surviving_ids
+    }
+
+    # Keep-mask over domain ids; graphs sharing the host graph's interner
+    # are filtered directly on their id columns (no dict copies).
+    keep = np.zeros(max(len(host_domain.left), 1), dtype=bool)
+    keep[surviving_ids] = True
+
+    def restrict(graph: BipartiteGraph) -> BipartiteGraph:
+        if graph.left is not host_domain.left:
+            return graph.restrict_to(report.surviving_domains)
+        lefts, rights = graph.edges.columns()
+        mask = keep[lefts]
+        edges = EdgeList._from_trusted(lefts[mask], rights[mask])
+        return BipartiteGraph(
+            kind=graph.kind, left=graph.left, right=graph.right, edges=edges
+        )
+
     return (
-        host_domain.restrict_to(survivors),
-        domain_ip.restrict_to(survivors),
-        domain_time.restrict_to(survivors),
+        restrict(host_domain),
+        restrict(domain_ip),
+        restrict(domain_time),
         report,
     )

@@ -74,6 +74,81 @@ class TestPruneGraphs:
         assert "hub.com" in hd.domains
 
 
+class TestPruningBoundaries:
+    """Exact-threshold behavior of rules 1-2 (the cutoffs' open/closed
+    sides), plus consistency for domains absent from the host graph."""
+
+    @staticmethod
+    def _host_graph(host_counts):
+        graph = BipartiteGraph(kind="host")
+        for domain, count in host_counts.items():
+            for i in range(count):
+                graph.add_edge(domain, f"h{i}")
+        return graph
+
+    @staticmethod
+    def _side_graphs(domains):
+        domain_ip = BipartiteGraph(kind="ip")
+        domain_time = BipartiteGraph(kind="time")
+        for domain in domains:
+            domain_ip.add_edge(domain, f"ip-{domain}")
+            domain_time.add_edge(domain, 0)
+        return domain_ip, domain_time
+
+    def test_rule1_cutoff_is_strictly_greater(self):
+        # 10 hosts, fraction 0.5 -> cutoff 5.0. A domain seen by exactly
+        # 5 hosts sits ON the cutoff and must survive (strict >); 6
+        # hosts is past it and must be dropped.
+        hd = self._host_graph({"at-cutoff.com": 5, "past-cutoff.com": 6,
+                               "filler.com": 10})
+        # filler.com brings total hosts to 10 and is itself dropped.
+        di, dt = self._side_graphs(["at-cutoff.com", "past-cutoff.com"])
+        rules = PruningRules(popular_host_fraction=0.5, min_hosts=2)
+        __, __, __, report = prune_graphs(hd, di, dt, rules)
+        assert report.total_hosts == 10
+        assert "at-cutoff.com" in report.surviving_domains
+        assert "past-cutoff.com" in report.dropped_popular
+        assert "filler.com" in report.dropped_popular
+
+    def test_rule2_min_hosts_boundary_is_inclusive(self):
+        # min_hosts=2: exactly 2 hosts survives (< is strict), 1 drops.
+        hd = self._host_graph({"pair.com": 2, "solo.com": 1,
+                               "wide.com": 4})
+        di, dt = self._side_graphs(["pair.com", "solo.com", "wide.com"])
+        rules = PruningRules(popular_host_fraction=0.9, min_hosts=2)
+        __, __, __, report = prune_graphs(hd, di, dt, rules)
+        assert "pair.com" in report.surviving_domains
+        assert "solo.com" in report.dropped_single_host
+        assert "solo.com" not in report.dropped_popular
+
+    def test_ip_and_time_only_domains_dropped_consistently(self):
+        hd = self._host_graph({"seen.com": 3, "other.com": 2})
+        di, dt = self._side_graphs(["seen.com"])
+        di.add_edge("ip-only.com", "198.51.100.7")
+        dt.add_edge("time-only.com", 42)
+        pruned_hd, pruned_di, pruned_dt, report = prune_graphs(hd, di, dt)
+        assert "ip-only.com" not in pruned_di.domains
+        assert "time-only.com" not in pruned_dt.domains
+        # ...and they are not counted as rule-1/rule-2 drops either:
+        # they never appeared in the host graph at all.
+        assert "ip-only.com" not in report.dropped_popular
+        assert "ip-only.com" not in report.dropped_single_host
+        assert set(pruned_di.domains) <= report.surviving_domains
+        assert set(pruned_dt.domains) <= report.surviving_domains
+
+    def test_boundary_report_counts_are_exact(self):
+        hd = self._host_graph({"a.com": 5, "b.com": 6, "c.com": 2,
+                               "d.com": 1, "filler.com": 10})
+        di, dt = self._side_graphs(["a.com", "b.com", "c.com", "d.com"])
+        rules = PruningRules(popular_host_fraction=0.5, min_hosts=2)
+        __, __, __, report = prune_graphs(hd, di, dt, rules)
+        assert report.domains_before == 5
+        assert sorted(report.dropped_popular) == ["b.com", "filler.com"]
+        assert report.dropped_single_host == ["d.com"]
+        assert report.surviving_domains == {"a.com", "c.com"}
+        assert report.domains_after == 2
+
+
 class TestPruningRulesValidation:
     def test_fraction_range(self):
         with pytest.raises(ValueError):
