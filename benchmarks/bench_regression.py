@@ -32,6 +32,7 @@ import platform
 import resource
 import sys
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -50,6 +51,8 @@ TRACKED_METRICS = {
     "pruning_seconds": "lower",
     "projection_seconds": "lower",
     "line.edges_per_sec": "higher",
+    "line.edges_per_sec.segment": "higher",
+    "line.edges_per_sec.add_at": "higher",
     "alias.build_seconds": "lower",
     "embedding.serial_seconds": "lower",
     "embedding.parallel_seconds": "lower",
@@ -237,6 +240,28 @@ def run_benchmark(args: argparse.Namespace) -> dict:
     )
     metrics["line.edges_per_sec"] = total_samples / max(
         metrics["embedding.serial_seconds"], 1e-9
+    )
+
+    # Per-kernel throughput: the serial run above exercises the default
+    # fused "segment" kernel; one extra serial pass times the "add_at"
+    # reference loop so the kernel speedup stays visible (and gated) in
+    # every bench point.
+    metrics["line.edges_per_sec.segment"] = metrics["line.edges_per_sec"]
+    add_at_views = [
+        (key, graph, replace(config, kernel="add_at"))
+        for key, graph, config in views
+    ]
+
+    def _add_at_run():
+        train_views(add_at_views, serial_config)
+
+    add_at_seconds = _timed(_add_at_run, args.repeats)
+    metrics["line.edges_per_sec.add_at"] = total_samples / max(
+        add_at_seconds, 1e-9
+    )
+    info["embedding.add_at_serial_seconds"] = add_at_seconds
+    info["line.kernel_speedup"] = metrics["line.edges_per_sec.segment"] / max(
+        metrics["line.edges_per_sec.add_at"], 1e-9
     )
 
     identical = all(

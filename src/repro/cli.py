@@ -44,7 +44,7 @@ from repro.obs.tracing import trace
 from repro.dns.dhcp import DhcpLog
 from repro.dns.logfmt import DnsTraceReader
 from repro.dns.types import DnsQuery, DnsResponse
-from repro.embedding.line import LineConfig
+from repro.embedding.line import KERNELS, LineConfig
 from repro.labels import (
     IntelligenceFeed,
     SimulatedThreatBook,
@@ -122,7 +122,11 @@ def _parse_workers(value: str) -> int | str:
 
 def _build_detector(args, queries, responses, dhcp) -> MaliciousDomainDetector:
     config = PipelineConfig(
-        embedding=LineConfig(dimension=args.dimension, seed=args.seed),
+        embedding=LineConfig(
+            dimension=args.dimension,
+            seed=args.seed,
+            kernel=args.line_kernel,
+        ),
         parallel=ParallelConfig(
             workers=args.workers, backend=args.parallel_backend
         ),
@@ -295,6 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--parallel-backend", choices=list(BACKENDS),
                           default="process",
                           help="worker backend when --workers > 1")
+    p_detect.add_argument("--line-kernel", choices=list(KERNELS),
+                          default="segment",
+                          help="LINE SGD kernel: fused 'segment' "
+                          "(default) or the 'add_at' reference loop")
     p_detect.add_argument("--metrics-out", metavar="PATH", default=None,
                           help="write a JSON metrics snapshot to PATH")
     p_detect.set_defaults(handler=cmd_detect)
@@ -312,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--parallel-backend", choices=list(BACKENDS),
                            default="process",
                            help="worker backend when --workers > 1")
+    p_cluster.add_argument("--line-kernel", choices=list(KERNELS),
+                           default="segment",
+                           help="LINE SGD kernel: fused 'segment' "
+                           "(default) or the 'add_at' reference loop")
     p_cluster.add_argument("--metrics-out", metavar="PATH", default=None,
                            help="write a JSON metrics snapshot to PATH")
     p_cluster.set_defaults(handler=cmd_cluster)

@@ -71,6 +71,9 @@ class PipelineConfig:
         pruning: Graph pruning rules (paper defaults).
         embedding: LINE hyperparameter template; per-view seeds are
             derived from its seed so the three views train independently.
+            Its ``kernel`` field selects the SGD inner loop for every
+            view (fused ``"segment"`` by default, ``"add_at"`` as the
+            reference — see ``docs/embedding-kernels.md``).
         parallel: Worker policy for the embedding stage — the three
             views (and both orders of ``order="both"``) train as
             independent tasks under it. The default (``workers=0``) is

@@ -86,7 +86,10 @@ def _generate_walks(
     biased = (
         config.return_parameter != 1.0 or config.inout_parameter != 1.0
     )
-    neighbor_sets = [set(n.tolist()) for n in neighbors] if biased else None
+    # Only consulted by _biased_step; empty when walks are unbiased.
+    neighbor_sets: list[set[int]] = (
+        [set(n.tolist()) for n in neighbors] if biased else []
+    )
 
     walks: list[np.ndarray] = []
     order = rng.permutation(graph.node_count)

@@ -9,9 +9,11 @@ proximity (shared neighborhoods). This is a from-scratch reimplementation:
 * negative vertices come from the degree^0.75 noise distribution of
   word2vec-style negative sampling;
 * optimization is stochastic gradient descent with a linearly decaying
-  learning rate, vectorized over minibatches with ``np.add.at``
-  scatter-adds — the numpy analogue of LINE's lock-free asynchronous
-  updates.
+  learning rate, vectorized over minibatches — the numpy analogue of
+  LINE's lock-free asynchronous updates. The inner loop is a pluggable
+  *kernel* (:mod:`repro.embedding.kernels`): ``"segment"`` (default)
+  runs a fused pass with compiled segment-reduction scatters,
+  ``"add_at"`` is the per-negative ``np.add.at`` reference loop.
 
 ``order="both"`` trains first- and second-order embeddings of half the
 requested dimension each and concatenates them, as in the LINE paper's
@@ -35,18 +37,26 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.embedding.alias import AliasSampler
+from repro.embedding.kernels import (
+    _REPORTS_PER_ORDER as _REPORTS_PER_ORDER,  # re-export: partition planning
+    KERNELS,
+    prepare_edge_arrays,
+    train_single_order,
+)
 from repro.errors import EmbeddingError
 from repro.graphs.projection import SimilarityGraph
 from repro.obs.metrics import default_registry
+from repro.obs.progress import ProgressCallback
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.parallel.executor import ParallelConfig
 
-_SCORE_CLIP = 10.0
-
-# Progress reports per single-order training run ("both" makes two runs,
-# so a full train_line reports up to 2x this many epochs).
-_REPORTS_PER_ORDER = 10
+__all__ = [
+    "KERNELS",
+    "LineConfig",
+    "LineEmbedding",
+    "train_line",
+]
 
 
 @dataclass(slots=True)
@@ -70,6 +80,13 @@ class LineConfig:
             (the median-heuristic operating point: gamma * E[d^2] ~ 1).
             Ignored when ``normalize`` is False.
         seed: RNG seed.
+        kernel: Inner-loop backend — ``"segment"`` (default, fused
+            segment-reduction SGD) or ``"add_at"`` (the per-negative
+            ``np.add.at`` reference loop). For a fixed seed each kernel
+            is deterministic across serial/thread/process backends, but
+            the two kernels draw different random streams and so
+            produce different (equally valid) embeddings — see
+            ``docs/embedding-kernels.md``.
     """
 
     dimension: int = 32
@@ -81,6 +98,7 @@ class LineConfig:
     normalize: bool = True
     vector_scale: float = 4.0
     seed: int = 13
+    kernel: str = "segment"
 
     def validate(self) -> None:
         if self.dimension < 2:
@@ -107,6 +125,10 @@ class LineConfig:
         ):
             raise EmbeddingError(
                 f"seed must be an integer, got {type(self.seed).__name__}"
+            )
+        if self.kernel not in KERNELS:
+            raise EmbeddingError(
+                f"unknown kernel {self.kernel!r} (expected one of {KERNELS})"
             )
 
     def resolved_samples(self, edge_count: int) -> int:
@@ -150,16 +172,19 @@ class LineEmbedding:
 
     def matrix(self, domain_order: list[str]) -> np.ndarray:
         """Stack vectors for ``domain_order`` (zeros for unknown domains)."""
-        out = np.zeros((len(domain_order), self.dimension))
-        for row, domain in enumerate(domain_order):
-            index = self.domain_index.get(domain)
-            if index is not None:
-                out[row] = self.vectors[index]
+        if self.vectors.shape[0] == 0:
+            return np.zeros((len(domain_order), self.dimension))
+        lookup = self.domain_index.get
+        indices = np.fromiter(
+            (lookup(domain, -1) for domain in domain_order),
+            dtype=np.int64,
+            count=len(domain_order),
+        )
+        # One fancy-index gather; unknown domains (-1, which gathered
+        # the last row) are masked back to zero afterwards.
+        out = self.vectors[indices]
+        out[indices < 0] = 0.0
         return out
-
-
-def _sigmoid(scores: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(scores, -_SCORE_CLIP, _SCORE_CLIP)))
 
 
 def _train_single_order(
@@ -173,7 +198,7 @@ def _train_single_order(
     config: LineConfig,
     rng: np.random.Generator,
     total_samples: int,
-    progress=None,
+    progress: ProgressCallback | None = None,
     epoch_offset: int = 0,
     epoch_total: int = 0,
 ) -> np.ndarray:
@@ -181,6 +206,10 @@ def _train_single_order(
 
     ``use_context=True`` trains second-order proximity with separate
     context vectors; ``False`` trains first-order with shared vectors.
+    Dispatches to the kernel named by ``config.kernel``
+    (:mod:`repro.embedding.kernels`); ``sources``/``targets`` and
+    ``edge_sampler`` must have been laid out for that kernel via
+    :func:`~repro.embedding.kernels.prepare_edge_arrays`.
 
     When ``progress`` is given, the loop additionally tracks the running
     negative-sampling loss and reports ``on_epoch`` about
@@ -188,86 +217,21 @@ def _train_single_order(
     ``epoch_total`` stitch the two runs of ``order="both"`` into one
     sequence). With ``progress=None`` no loss terms are computed at all.
     """
-    vertex = (rng.uniform(-0.5, 0.5, size=(node_count, dimension))) / dimension
-    context = (
-        np.zeros((node_count, dimension))
-        if use_context
-        else vertex  # first order: both sides share the same table
+    return train_single_order(
+        sources,
+        targets,
+        edge_sampler,
+        noise_sampler,
+        node_count,
+        dimension,
+        use_context,
+        config,
+        rng,
+        total_samples,
+        progress,
+        epoch_offset,
+        epoch_total,
     )
-
-    drawn = 0
-    # Cap the minibatch relative to graph size: a batch much larger than
-    # the vertex set applies hundreds of stale-gradient updates to each
-    # vector at once, which overshoots and collapses small graphs.
-    batch_size = min(config.batch_size, max(32, 4 * node_count))
-    negatives = config.negatives
-    # Sample-count thresholds at which progress is reported; the last one
-    # equals total_samples so the final batch always reports.
-    thresholds = [
-        max(1, round(total_samples * i / _REPORTS_PER_ORDER))
-        for i in range(1, _REPORTS_PER_ORDER + 1)
-    ]
-    next_report = 0
-    loss_sum = 0.0
-    loss_terms = 0
-    batch_loss = 0.0
-    while drawn < total_samples:
-        batch = min(batch_size, total_samples - drawn)
-        lr = config.initial_lr * max(1e-4, 1.0 - drawn / total_samples)
-        edge_ids = edge_sampler.sample(batch, rng)
-        # Random orientation: undirected edges act as two directed ones.
-        flip = rng.uniform(size=batch) < 0.5
-        u = np.where(flip, targets[edge_ids], sources[edge_ids])
-        v = np.where(flip, sources[edge_ids], targets[edge_ids])
-
-        grad_u = np.zeros((batch, dimension))
-
-        # Positive pairs: label 1.
-        pos_scores = np.einsum("ij,ij->i", vertex[u], context[v])
-        if progress is not None:
-            batch_loss = float(np.mean(-np.log(_sigmoid(pos_scores))))
-        pos_coeff = (_sigmoid(pos_scores) - 1.0) * lr
-        grad_u += pos_coeff[:, None] * context[v]
-        delta_v = pos_coeff[:, None] * vertex[u]
-
-        if use_context:
-            np.add.at(context, v, -delta_v)
-        else:
-            np.add.at(vertex, v, -delta_v)
-
-        # Negative pairs: label 0, drawn from the noise distribution.
-        for __ in range(negatives):
-            neg = noise_sampler.sample(batch, rng)
-            neg_scores = np.einsum("ij,ij->i", vertex[u], context[neg])
-            if progress is not None:
-                batch_loss += float(np.mean(-np.log(_sigmoid(-neg_scores))))
-            neg_coeff = _sigmoid(neg_scores) * lr
-            grad_u += neg_coeff[:, None] * context[neg]
-            delta_neg = neg_coeff[:, None] * vertex[u]
-            if use_context:
-                np.add.at(context, neg, -delta_neg)
-            else:
-                np.add.at(vertex, neg, -delta_neg)
-
-        np.add.at(vertex, u, -grad_u)
-        drawn += batch
-        if progress is not None:
-            loss_sum += batch_loss
-            loss_terms += 1
-            if next_report < len(thresholds) and drawn >= thresholds[next_report]:
-                while (
-                    next_report < len(thresholds)
-                    and drawn >= thresholds[next_report]
-                ):
-                    next_report += 1
-                progress.on_epoch(
-                    epoch_offset + next_report,
-                    epoch_total,
-                    loss_sum / loss_terms,
-                )
-                loss_sum = 0.0
-                loss_terms = 0
-    return vertex
 
 
 def _finalize_vectors(vectors: np.ndarray, config: LineConfig) -> np.ndarray:
@@ -284,19 +248,29 @@ def _finalize_vectors(vectors: np.ndarray, config: LineConfig) -> np.ndarray:
     )
 
 
-def _record_training_metrics(total_samples: int, elapsed: float) -> None:
-    """Record one training run's ``line.*`` counters and throughput."""
+def _record_training_metrics(
+    total_samples: int, elapsed: float, kernel: str = "segment"
+) -> None:
+    """Record one training run's ``line.*`` counters and throughput.
+
+    Throughput lands both in the kernel-agnostic ``line.edges_per_sec``
+    gauge (the long-standing dashboard key) and a per-backend
+    ``line.edges_per_sec.<kernel>`` gauge so comparison runs of the two
+    kernels stay distinguishable in one snapshot.
+    """
     registry = default_registry()
     registry.counter("line.edges_sampled").inc(total_samples)
     registry.counter("line.trainings").inc()
     if elapsed > 0:
-        registry.gauge("line.edges_per_sec").set(total_samples / elapsed)
+        rate = total_samples / elapsed
+        registry.gauge("line.edges_per_sec").set(rate)
+        registry.gauge(f"line.edges_per_sec.{kernel}").set(rate)
 
 
 def train_line(
     graph: SimilarityGraph,
     config: LineConfig | None = None,
-    progress=None,
+    progress: ProgressCallback | None = None,
     parallel: "ParallelConfig | None" = None,
 ) -> LineEmbedding:
     """Embed a similarity graph with LINE.
@@ -350,7 +324,10 @@ def train_line(
             return train_views([(graph.kind, graph, config)], parallel,
                                progress)[graph.kind]
 
-    edge_sampler = AliasSampler(graph.weights)
+    sources, targets, sample_weights = prepare_edge_arrays(
+        graph.rows, graph.cols, graph.weights, config.kernel
+    )
+    edge_sampler = AliasSampler(sample_weights)
     degrees = graph.degree_array()
     noise_sampler = AliasSampler(np.power(np.maximum(degrees, 1e-12), 0.75))
 
@@ -359,14 +336,16 @@ def train_line(
     for task in tasks:
         vectors[:, task.column : task.column + task.dimension] = (
             _train_single_order(
-                graph.rows, graph.cols, edge_sampler, noise_sampler,
+                sources, targets, edge_sampler, noise_sampler,
                 graph.node_count, task.dimension, task.use_context, config,
                 np.random.default_rng(task.seed), task.total_samples,
                 progress, task.epoch_offset, task.epoch_total,
             )
         )
     elapsed = time.perf_counter() - started
-    _record_training_metrics(sum(t.total_samples for t in tasks), elapsed)
+    _record_training_metrics(
+        sum(t.total_samples for t in tasks), elapsed, config.kernel
+    )
 
     return LineEmbedding(
         kind=graph.kind,

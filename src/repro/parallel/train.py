@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.embedding.alias import AliasSampler
+from repro.embedding.kernels import prepare_edge_arrays
 from repro.embedding.line import (
     LineConfig,
     LineEmbedding,
@@ -112,14 +113,25 @@ def _run_embedding_task(
     return task.task_id, vectors, elapsed
 
 
-def _view_arrays(graph: SimilarityGraph) -> dict[str, np.ndarray]:
-    """The read-only arrays one view's tasks share (tables prebuilt)."""
-    edge_sampler = AliasSampler(graph.weights)
+def _view_arrays(
+    graph: SimilarityGraph, config: LineConfig
+) -> dict[str, np.ndarray]:
+    """The read-only arrays one view's tasks share (tables prebuilt).
+
+    The edge arrays and the edge alias table are laid out for
+    ``config.kernel`` (:func:`repro.embedding.kernels.prepare_edge_arrays`
+    — e.g. pre-doubled orientation for ``"segment"``) in the caller, so
+    workers train on exactly the bytes the serial path would use.
+    """
+    sources, targets, sample_weights = prepare_edge_arrays(
+        graph.rows, graph.cols, graph.weights, config.kernel
+    )
+    edge_sampler = AliasSampler(sample_weights)
     degrees = graph.degree_array()
     noise_sampler = AliasSampler(np.power(np.maximum(degrees, 1e-12), 0.75))
     return {
-        "sources": np.ascontiguousarray(graph.rows),
-        "targets": np.ascontiguousarray(graph.cols),
+        "sources": np.ascontiguousarray(sources),
+        "targets": np.ascontiguousarray(targets),
         "edge_prob": edge_sampler.probabilities,
         "edge_alias": edge_sampler.aliases,
         "noise_prob": noise_sampler.probabilities,
@@ -195,10 +207,10 @@ def _train_views_pooled(
             thread_shim = LockedProgress(progress)
 
     try:
-        for key, graph, __ in views:
+        for key, graph, config in views:
             if graph.edge_count > 0:
                 packs[key] = ArrayPack(
-                    _view_arrays(graph), use_shm=backend == "process"
+                    _view_arrays(graph, config), use_shm=backend == "process"
                 )
         ordered = schedule_order(tasks)
         payloads = [
@@ -258,7 +270,7 @@ def _train_views_pooled(
             vectors[:, task.column : task.column + task.dimension] = part
             view_seconds += elapsed
             view_samples += task.total_samples
-        _record_training_metrics(view_samples, view_seconds)
+        _record_training_metrics(view_samples, view_seconds, config.kernel)
         record_stage_observation(f"embedding.{key}", view_seconds)
         _log.debug(
             "view_embedded",

@@ -73,6 +73,36 @@ class TestEndToEnd:
         scores = detector.decision_scores(dataset.domains)
         assert roc_auc_score(dataset.labels, scores) > 0.85  # training fit
 
+    def test_segment_kernel_matches_add_at_quality(self, workspace, full_run):
+        """Downstream SVM AUC is kernel-independent (within SGD noise).
+
+        The fused ``segment`` kernel draws a different random stream
+        than the ``add_at`` reference, so the embeddings differ vector
+        by vector — but the detection quality they support must not.
+        """
+        queries, responses, dhcp, truth = workspace
+        detector, dataset, __, __, __ = full_run  # default: segment
+        reference = MaliciousDomainDetector(
+            PipelineConfig(
+                embedding=LineConfig(
+                    dimension=16,
+                    total_samples=150_000,
+                    seed=9,
+                    kernel="add_at",
+                )
+            )
+        )
+        reference.process(queries, responses, dhcp)
+        reference.fit(dataset)
+        segment_auc = roc_auc_score(
+            dataset.labels, detector.decision_scores(dataset.domains)
+        )
+        add_at_auc = roc_auc_score(
+            dataset.labels, reference.decision_scores(dataset.domains)
+        )
+        assert add_at_auc > 0.85
+        assert abs(segment_auc - add_at_auc) < 0.05
+
     def test_scores_rank_unlabeled_malicious_domains(self, full_run):
         """Generalization: unlabeled malicious score above unlabeled benign."""
         detector, dataset, truth, __, __ = full_run
