@@ -56,6 +56,7 @@ TRACKED_METRICS = {
     "alias.build_seconds": "lower",
     "embedding.serial_seconds": "lower",
     "embedding.parallel_seconds": "lower",
+    "serve_score_p50_us": "lower",
     "peak_rss_mb": "lower",
 }
 
@@ -143,6 +144,34 @@ def _bench_graph_stages(trace, repeats: int) -> dict[str, float]:
     }
 
 
+def _bench_serve_scorer(detector, repeats: int) -> dict[str, float]:
+    """Median single-domain scoring latency through the serving layer.
+
+    Packages the fitted detector into a :class:`ModelBundle` and times
+    uncached :class:`DomainScorer` lookups (cache_size=0, so every call
+    pays the full gather -> scale -> decision-function path). Reported
+    as the p50 in microseconds over a round-robin of known domains;
+    best-of-``repeats`` to shed scheduler noise.
+    """
+    from repro.serve import DomainScorer, ModelBundle
+
+    bundle = ModelBundle.from_detector(detector)
+    scorer = DomainScorer(bundle, cache_size=0)
+    domains = bundle.domains[: min(64, len(bundle.domains))]
+    calls = 400
+
+    best_p50 = float("inf")
+    for __ in range(max(1, repeats)):
+        samples = np.empty(calls)
+        for i in range(calls):
+            domain = domains[i % len(domains)]
+            started = time.perf_counter()
+            scorer.score(domain)
+            samples[i] = time.perf_counter() - started
+        best_p50 = min(best_p50, float(np.median(samples)))
+    return {"serve_score_p50_us": best_p50 * 1e6}
+
+
 def _stage_seconds(snapshot: dict) -> dict[str, float]:
     """Total wall time per traced stage from an obs snapshot dict."""
     stages = {}
@@ -187,6 +216,8 @@ def run_benchmark(args: argparse.Namespace) -> dict:
     virustotal = SimulatedVirusTotal(trace.ground_truth)
     dataset = build_labeled_dataset(feed, virustotal, detector.domains)
     detector.fit(dataset)
+
+    metrics.update(_bench_serve_scorer(detector, args.repeats))
 
     snapshot = snapshot_to_dict(registry)
     for name, seconds in _stage_seconds(snapshot).items():

@@ -28,6 +28,13 @@ from repro.graphs import (
     project_to_similarity,
 )
 from repro.parallel import ParallelConfig
+from repro.serve import (
+    DomainScorer,
+    ModelBundle,
+    ModelRegistry,
+    ScoringService,
+    ServiceConfig,
+)
 from repro.labels import (
     IntelligenceFeed,
     LabeledDataset,
@@ -43,6 +50,7 @@ __all__ = [
     "BipartiteGraph",
     "DomainCluster",
     "DomainClusterer",
+    "DomainScorer",
     "FeatureSpace",
     "FeatureView",
     "IntelligenceFeed",
@@ -51,8 +59,12 @@ __all__ = [
     "LineEmbedding",
     "MaliciousDomainClassifier",
     "MaliciousDomainDetector",
+    "ModelBundle",
+    "ModelRegistry",
     "ParallelConfig",
     "PipelineConfig",
+    "ScoringService",
+    "ServiceConfig",
     "PruningRules",
     "SimilarityGraph",
     "SimulatedThreatBook",

@@ -1,12 +1,18 @@
 """Command-line interface.
 
-Four subcommands mirror an operator's workflow:
+Five subcommands mirror an operator's workflow:
 
 * ``repro-dns simulate OUTDIR`` — generate a campus capture to disk;
 * ``repro-dns stats TRACEDIR`` — Figure-1 traffic statistics;
 * ``repro-dns detect TRACEDIR`` — run the full pipeline, print ranked
   domain scores (and write them to a TSV);
-* ``repro-dns cluster TRACEDIR`` — mine and annotate domain clusters.
+* ``repro-dns cluster TRACEDIR`` — mine and annotate domain clusters;
+* ``repro-dns serve MODELDIR`` — online scoring over a published model.
+
+Serving: ``detect`` and ``cluster`` take ``--save-model DIR`` to publish
+the trained model into a versioned registry, which ``serve`` then
+answers from over HTTP (``POST /v1/score``; see docs/serving.md) —
+scoring no longer requires retraining on every invocation.
 
 Run any subcommand with ``-h`` for its options. The entry point is also
 callable as ``python -m repro.cli``.
@@ -26,7 +32,9 @@ serial run for the same seed (see docs/parallelism.md).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -55,6 +63,13 @@ from repro.obs import configure as configure_logging
 from repro.obs import default_registry, get_logger
 from repro.parallel import BACKENDS, ParallelConfig
 from repro.obs.export import render_timing_table, write_snapshot
+from repro.serve import (
+    UNKNOWN_POLICIES,
+    ModelBundle,
+    ModelRegistry,
+    ScoringService,
+    ServiceConfig,
+)
 from repro.simulation import SimulationConfig, TraceGenerator
 from repro.simulation.groundtruth import GroundTruth
 
@@ -80,6 +95,48 @@ def _require_trace_dir(args) -> Path | None:
         print(f"repro-dns {args.command}: {error}", file=sys.stderr)
         return None
     return directory
+
+
+def _reject_model_outdir(directory: Path) -> str | None:
+    """Why ``directory`` can't receive a model bundle, or ``None``.
+
+    Checked *before* the expensive pipeline run, mirroring the trace-dir
+    validation: a typo'd ``--save-model`` path fails in milliseconds
+    with exit 2 instead of after minutes of training.
+    """
+    if directory.exists():
+        if not directory.is_dir():
+            return f"model output path is not a directory: {directory}"
+        if not os.access(directory, os.W_OK):
+            return f"model output directory is not writable: {directory}"
+        return None
+    parent = directory.parent
+    if not parent.is_dir():
+        return f"parent directory does not exist: {parent}"
+    if not os.access(parent, os.W_OK):
+        return f"parent directory is not writable: {parent}"
+    return None
+
+
+def _require_model_outdir(args) -> tuple[Path | None, bool]:
+    """(validated --save-model dir or None, ok). Prints errors itself."""
+    save_model = getattr(args, "save_model", None)
+    if save_model is None:
+        return None, True
+    directory = Path(save_model)
+    error = _reject_model_outdir(directory)
+    if error is not None:
+        print(f"repro-dns {args.command}: {error}", file=sys.stderr)
+        return None, False
+    return directory, True
+
+
+def _publish_model(detector, outdir: Path) -> int:
+    """Publish the fitted detector's bundle into the registry at outdir."""
+    registry = ModelRegistry(outdir)
+    version = registry.publish(ModelBundle.from_detector(detector))
+    print(f"published model v{version:04d} to {outdir}")
+    return version
 
 
 def _emit_observability(args) -> None:
@@ -193,6 +250,9 @@ def cmd_detect(args) -> int:
     directory = _require_trace_dir(args)
     if directory is None:
         return 2
+    model_outdir, outdir_ok = _require_model_outdir(args)
+    if not outdir_ok:
+        return 2
     queries, responses, dhcp, truth = _load_trace_dir(directory)
     if truth is None:
         print(
@@ -216,6 +276,8 @@ def cmd_detect(args) -> int:
     print("\ntop suspects:")
     for index in order[: args.top]:
         print(f"  {scores[index]:+8.3f}  {detector.domains[int(index)]}")
+    if model_outdir is not None:
+        _publish_model(detector, model_outdir)
     _emit_observability(args)
     return 0
 
@@ -224,7 +286,17 @@ def cmd_cluster(args) -> int:
     directory = _require_trace_dir(args)
     if directory is None:
         return 2
+    model_outdir, outdir_ok = _require_model_outdir(args)
+    if not outdir_ok:
+        return 2
     queries, responses, dhcp, truth = _load_trace_dir(directory)
+    if model_outdir is not None and truth is None:
+        print(
+            "repro-dns cluster: --save-model requires groundtruth.tsv "
+            "to train the classifier",
+            file=sys.stderr,
+        )
+        return 2
     detector = _build_detector(args, queries, responses, dhcp)
     clusterer = DomainClusterer(k_min=4, k_max=args.k_max, seed=args.seed)
     with trace(STAGE_CLUSTERING):
@@ -249,7 +321,62 @@ def cmd_cluster(args) -> int:
                 f"  cluster {cluster.cluster_id:3d}: {len(cluster):5d} domains: "
                 f"{', '.join(cluster.domains[:3])}..."
             )
+    if model_outdir is not None and truth is not None:
+        feed = IntelligenceFeed(truth)
+        virustotal = SimulatedVirusTotal(truth)
+        detector.fit(build_labeled_dataset(feed, virustotal, detector.domains))
+        _publish_model(detector, model_outdir)
     _emit_observability(args)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    root = Path(args.model)
+    if not root.exists():
+        print(
+            f"repro-dns serve: model directory does not exist: {root}",
+            file=sys.stderr,
+        )
+        return 2
+    if not root.is_dir():
+        print(
+            f"repro-dns serve: model path is not a directory: {root}",
+            file=sys.stderr,
+        )
+        return 2
+    registry = ModelRegistry(root)
+    if registry.latest_version() is None:
+        print(
+            f"repro-dns serve: no published model versions under {root} "
+            "(create one with detect --save-model)",
+            file=sys.stderr,
+        )
+        return 2
+    service = ScoringService(
+        registry,
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            unknown_policy=args.unknown_policy,
+        ),
+    )
+    host, port = service.start()
+    print(
+        f"serving model v{service.active_version:04d} "
+        f"on http://{host}:{port}"
+    )
+    print(
+        "endpoints: POST /v1/score, POST /admin/reload, "
+        "GET /healthz /readyz /metrics (Ctrl-C to stop)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.stop()
     return 0
 
 
@@ -305,6 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default) or the 'add_at' reference loop")
     p_detect.add_argument("--metrics-out", metavar="PATH", default=None,
                           help="write a JSON metrics snapshot to PATH")
+    p_detect.add_argument("--save-model", metavar="DIR", default=None,
+                          dest="save_model",
+                          help="publish the trained model as a new version "
+                          "in registry DIR (servable with 'serve')")
     p_detect.set_defaults(handler=cmd_detect)
 
     p_cluster = sub.add_parser("cluster", parents=[common],
@@ -326,7 +457,26 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default) or the 'add_at' reference loop")
     p_cluster.add_argument("--metrics-out", metavar="PATH", default=None,
                            help="write a JSON metrics snapshot to PATH")
+    p_cluster.add_argument("--save-model", metavar="DIR", default=None,
+                           dest="save_model",
+                           help="publish the trained model as a new version "
+                           "in registry DIR (requires groundtruth.tsv)")
     p_cluster.set_defaults(handler=cmd_cluster)
+
+    p_serve = sub.add_parser("serve", parents=[common],
+                             help="online scoring over a published model")
+    p_serve.add_argument("model",
+                         help="model registry directory (from --save-model)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8053,
+                         help="bind port (0 for an ephemeral one)")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="verdict LRU cache size (0 disables)")
+    p_serve.add_argument("--unknown-policy", choices=list(UNKNOWN_POLICIES),
+                         default="zero", dest="unknown_policy",
+                         help="unknown domains: score the zero 'no "
+                         "evidence' vector, or reject without a score")
+    p_serve.set_defaults(handler=cmd_serve)
     return parser
 
 

@@ -14,12 +14,16 @@ from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
 from repro.core.streaming import IncrementalGraphBuilder, StreamingDetector
 from repro.core.persistence import (
     load_bipartite_graph,
+    load_classifier,
     load_embedding,
     load_feature_space,
+    load_scaler,
     load_similarity_graph,
     save_bipartite_graph,
+    save_classifier,
     save_embedding,
     save_feature_space,
+    save_scaler,
     save_similarity_graph,
 )
 
@@ -27,12 +31,16 @@ __all__ = [
     "IncrementalGraphBuilder",
     "StreamingDetector",
     "load_bipartite_graph",
+    "load_classifier",
     "load_embedding",
     "load_feature_space",
+    "load_scaler",
     "load_similarity_graph",
     "save_bipartite_graph",
+    "save_classifier",
     "save_embedding",
     "save_feature_space",
+    "save_scaler",
     "save_similarity_graph",
     "ClusterReport",
     "DomainCluster",

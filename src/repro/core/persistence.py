@@ -2,8 +2,11 @@
 
 A deployment runs the expensive stages (graphs, projections, LINE) once
 per capture window and reuses the results; this module saves and restores
-them. Formats are plain ``.npz`` (numpy) plus small JSON sidecars — no
-pickle, so artifacts are safe to share and stable across versions.
+them — embeddings, feature spaces, graphs, and the trained classifier
+and scaler (so scoring never requires retraining; see ``repro.serve``
+for the bundle/registry layer built on top). Formats are plain ``.npz``
+(numpy) plus small JSON sidecars — no pickle, so artifacts are safe to
+share and stable across versions.
 """
 
 from __future__ import annotations
@@ -14,12 +17,15 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.detector import MaliciousDomainClassifier
 from repro.core.features import FeatureSpace
 from repro.embedding.line import LineConfig, LineEmbedding
-from repro.errors import DatasetError
+from repro.errors import DatasetError, NotFittedError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.core import EdgeList, VertexTable
 from repro.graphs.projection import SimilarityGraph
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import SupportVectorClassifier
 
 _FORMAT_VERSION = 1
 
@@ -121,6 +127,115 @@ def load_bipartite_graph(path: str | Path) -> BipartiteGraph:
         return BipartiteGraph(
             kind=str(archive["kind"]), left=left, right=right, edges=edges
         )
+
+
+def save_classifier(
+    classifier: MaliciousDomainClassifier, path: str | Path
+) -> None:
+    """Write a fitted classifier as ``<path>`` (.npz, pickle-free).
+
+    The archive holds the complete SVM decision rule — support vectors,
+    signed dual coefficients (alpha_i * y_i), bias, kernel parameters —
+    plus the calibrated threshold, so a loaded classifier reproduces
+    ``decision_function`` byte-exactly without retraining.
+    """
+    svm = classifier._svm
+    if (
+        not classifier._fitted
+        or svm._support_vectors is None
+        or svm._support_coefficients is None
+        or svm._classes is None
+    ):
+        raise NotFittedError("MaliciousDomainClassifier")
+    params = {
+        "c": svm.c,
+        "kernel": svm.kernel,
+        "gamma": svm.gamma,
+        "degree": svm.degree,
+        "coef0": svm.coef0,
+        "tolerance": svm.tolerance,
+        "max_iterations": svm.max_iterations,
+        # The configured threshold (None = calibrate on fit) and the
+        # value that calibration actually produced.
+        "threshold": classifier.threshold,
+        "threshold_": classifier.threshold_,
+    }
+    np.savez_compressed(
+        Path(path),
+        support_vectors=svm._support_vectors,
+        dual_coefficients=svm._support_coefficients,
+        bias=np.array(svm._bias, dtype=np.float64),
+        classes=np.asarray(svm._classes),
+        params_json=np.array(json.dumps(params)),
+        format_version=np.array(_FORMAT_VERSION),
+    )
+
+
+def load_classifier(path: str | Path) -> MaliciousDomainClassifier:
+    """Read a classifier written by :func:`save_classifier`.
+
+    The returned classifier's ``decision_function`` is byte-identical to
+    the saved one's: the kernel expansion is recomputed from bit-equal
+    float64 support vectors, coefficients, and bias.
+    """
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported classifier format version {version}"
+            )
+        params = json.loads(str(archive["params_json"]))
+        threshold = params["threshold"]
+        classifier = MaliciousDomainClassifier(
+            c=float(params["c"]),
+            gamma=float(params["gamma"]),
+            threshold=None if threshold is None else float(threshold),
+        )
+        svm = SupportVectorClassifier(
+            c=float(params["c"]),
+            kernel=str(params["kernel"]),
+            gamma=float(params["gamma"]),
+            degree=int(params["degree"]),
+            coef0=float(params["coef0"]),
+            tolerance=float(params["tolerance"]),
+            max_iterations=int(params["max_iterations"]),
+        )
+        svm._support_vectors = np.asarray(
+            archive["support_vectors"], dtype=np.float64
+        )
+        svm._support_coefficients = np.asarray(
+            archive["dual_coefficients"], dtype=np.float64
+        )
+        svm._bias = float(archive["bias"])
+        svm._classes = np.asarray(archive["classes"])
+        classifier._svm = svm
+        classifier._fitted = True
+        classifier.threshold_ = float(params["threshold_"])
+        return classifier
+
+
+def save_scaler(scaler: StandardScaler, path: str | Path) -> None:
+    """Write a fitted :class:`StandardScaler` as ``<path>`` (.npz)."""
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise NotFittedError("StandardScaler")
+    np.savez_compressed(
+        Path(path),
+        mean=scaler.mean_,
+        scale=scaler.scale_,
+        format_version=np.array(_FORMAT_VERSION),
+    )
+
+
+def load_scaler(path: str | Path) -> StandardScaler:
+    """Read a scaler written by :func:`save_scaler`."""
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(f"unsupported scaler format version {version}")
+        scaler = StandardScaler()
+        scaler.mean_ = np.asarray(archive["mean"], dtype=np.float64)
+        scaler.scale_ = np.asarray(archive["scale"], dtype=np.float64)
+        return scaler
 
 
 def save_similarity_graph(graph: SimilarityGraph, path: str | Path) -> None:

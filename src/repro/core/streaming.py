@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.graphs.core import VertexTable
 from repro.labels.dataset import LabeledDataset
 from repro.obs.logging import get_logger
 from repro.obs.metrics import default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.serve.registry import ModelRegistry
 
 _log = get_logger(__name__)
 
@@ -210,6 +213,39 @@ class StreamingDetector:
         if self._detector is None:
             raise NotFittedError("StreamingDetector.refresh")
         return self._detector
+
+    def publish(self, registry: "ModelRegistry") -> int:
+        """Publish the current model as a new bundle version.
+
+        The refresh -> publish path is how a streaming deployment feeds
+        the serving layer: each call packages the most recent refresh's
+        classifier + feature matrix into a
+        :class:`~repro.serve.bundle.ModelBundle` and atomically adds it
+        to ``registry``, where a running
+        :class:`~repro.serve.service.ScoringService` picks it up on its
+        next ``/admin/reload``. Returns the new version number and
+        updates the ``serve.model_version`` gauge.
+        """
+        from repro.serve.bundle import ModelBundle
+
+        detector = self.detector  # raises NotFittedError before refresh()
+        bundle = ModelBundle.from_detector(
+            detector,
+            metrics={
+                "refreshes": float(self.refreshes),
+                "records_ingested": float(self.builder.records_ingested),
+            },
+        )
+        version = registry.publish(bundle)
+        default_registry().gauge("serve.model_version").set(version)
+        _log.info(
+            "model_published",
+            version=version,
+            refresh=self.refreshes,
+            domains=len(detector.domains),
+            registry=str(registry.root),
+        )
+        return version
 
     def score(self, domains: list[str]) -> np.ndarray:
         """d(x) under the most recent refresh."""

@@ -48,3 +48,7 @@ class NotFittedError(ReproError):
 
 class DatasetError(ReproError):
     """A labeled dataset could not be assembled or is inconsistent."""
+
+
+class ArtifactIntegrityError(ReproError):
+    """A persisted model artifact failed checksum or schema validation."""

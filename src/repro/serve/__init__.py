@@ -1,0 +1,38 @@
+"""Model serving: artifact bundles, a versioned registry, and the
+online scoring service.
+
+The paper's system is an operational one — train periodically, answer
+verdict queries continuously. This package is that deployment surface:
+
+* :class:`ModelBundle` packages a trained classifier + feature matrix +
+  manifest as a checksummed, pickle-free artifact directory;
+* :class:`ModelRegistry` keeps versioned bundles with atomic publish
+  and lock-free hot swap of the active version;
+* :class:`DomainScorer` answers single/batch verdict queries from a
+  bundle (vectorized, LRU-cached, explicit unknown-domain policy);
+* :class:`ScoringService` exposes it all over HTTP with health checks,
+  metrics, and zero-downtime reload (``repro-dns serve``).
+
+See ``docs/serving.md`` for the bundle format and endpoint reference.
+"""
+
+from repro.serve.bundle import (
+    BUNDLE_SCHEMA_VERSION,
+    BundleManifest,
+    ModelBundle,
+)
+from repro.serve.registry import ModelRegistry
+from repro.serve.scorer import UNKNOWN_POLICIES, DomainScorer, Verdict
+from repro.serve.service import ScoringService, ServiceConfig
+
+__all__ = [
+    "BUNDLE_SCHEMA_VERSION",
+    "BundleManifest",
+    "DomainScorer",
+    "ModelBundle",
+    "ModelRegistry",
+    "ScoringService",
+    "ServiceConfig",
+    "UNKNOWN_POLICIES",
+    "Verdict",
+]

@@ -1,0 +1,195 @@
+"""Vectorized online scoring over a model bundle.
+
+:class:`DomainScorer` is the in-process answer path: vocabulary lookup
+(one fancy-index gather over the bundle's feature matrix), optional
+scaling, then one batched SVM decision-function call — the same math the
+training pipeline runs, so a scorer over
+:meth:`ModelBundle.from_detector` output reproduces
+``detector.decision_scores`` exactly.
+
+Repeat queries hit an LRU verdict cache (domain verdicts only change
+when the model changes, and a new model means a new scorer), and
+unknown domains follow an explicit policy:
+
+* ``"zero"`` (default) — score the all-zero feature vector, the same
+  "no behavioral evidence in any view" semantics the training-side
+  :class:`~repro.core.features.FeatureSpace` uses for absent domains;
+* ``"reject"`` — skip scoring; the verdict carries ``known=False`` and a
+  NaN score so callers can distinguish "benign" from "never seen".
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.serve.bundle import ModelBundle
+
+__all__ = ["UNKNOWN_POLICIES", "DomainScorer", "Verdict"]
+
+#: Accepted values for ``DomainScorer(unknown_policy=...)``.
+UNKNOWN_POLICIES: tuple[str, ...] = ("zero", "reject")
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """One scored domain.
+
+    Attributes:
+        domain: The queried registered domain.
+        score: d(x), positive = malicious side (NaN when the domain is
+            unknown under the ``"reject"`` policy).
+        malicious: Whether ``score`` clears the model's calibrated
+            threshold.
+        known: Whether the domain was in the model's vocabulary.
+    """
+
+    domain: str
+    score: float
+    malicious: bool
+    known: bool
+
+
+class DomainScorer:
+    """Thread-safe batch scorer over one immutable :class:`ModelBundle`.
+
+    Args:
+        bundle: The model to answer from. Treated as immutable — hot
+            reloads build a fresh scorer rather than mutating this one.
+        cache_size: Max verdicts kept in the LRU cache (0 disables it).
+        unknown_policy: See :data:`UNKNOWN_POLICIES`.
+        metrics: Registry for cache/throughput metrics (the process
+            default when omitted).
+    """
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        cache_size: int = 4096,
+        unknown_policy: str = "zero",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if unknown_policy not in UNKNOWN_POLICIES:
+            raise ValueError(
+                f"unknown_policy must be one of {UNKNOWN_POLICIES}, "
+                f"got {unknown_policy!r}"
+            )
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.bundle = bundle
+        self.unknown_policy = unknown_policy
+        self.cache_size = cache_size
+        self._index = {d: i for i, d in enumerate(bundle.domains)}
+        self._cache: OrderedDict[str, Verdict] = OrderedDict()
+        self._lock = threading.Lock()
+        self._metrics = metrics if metrics is not None else default_registry()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def known_domains(self) -> int:
+        """Size of the model's domain vocabulary."""
+        return len(self._index)
+
+    @property
+    def cache_len(self) -> int:
+        """Verdicts currently cached."""
+        with self._lock:
+            return len(self._cache)
+
+    def score(self, domain: str) -> Verdict:
+        """Verdict for one domain."""
+        return self.score_batch([domain])[0]
+
+    def score_batch(self, domains: Sequence[str]) -> list[Verdict]:
+        """Verdicts for ``domains``, in input order.
+
+        Cache hits are answered without touching numpy; the misses are
+        scored in one vectorized pass.
+        """
+        results: list[Verdict | None] = [None] * len(domains)
+        misses: list[tuple[int, str]] = []
+        with self._lock:
+            for position, domain in enumerate(domains):
+                cached = self._cache.get(domain)
+                if cached is not None:
+                    self._cache.move_to_end(domain)
+                    results[position] = cached
+                else:
+                    misses.append((position, domain))
+        if misses:
+            fresh = self._score_uncached([d for __, d in misses])
+            with self._lock:
+                for (position, domain), verdict in zip(misses, fresh):
+                    results[position] = verdict
+                    if self.cache_size > 0:
+                        self._cache[domain] = verdict
+                        self._cache.move_to_end(domain)
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
+        self._record_metrics(hits=len(domains) - len(misses), misses=len(misses))
+        # Every position was filled by either branch above.
+        return [v for v in results if v is not None]
+
+    def _score_uncached(self, domains: Sequence[str]) -> list[Verdict]:
+        """Score domains not found in the cache (one vectorized pass)."""
+        lookup = self._index.get
+        indices = np.fromiter(
+            (lookup(domain, -1) for domain in domains),
+            dtype=np.int64,
+            count=len(domains),
+        )
+        known = indices >= 0
+        features = self.bundle.features
+        if features.shape[0] == 0:
+            matrix = np.zeros((len(domains), self.bundle.dimension))
+        else:
+            # One gather; unknown rows (-1 gathered the last row) are
+            # masked back to the zero "no evidence" vector.
+            matrix = features[indices]
+            matrix[~known] = 0.0
+        scores = self.bundle.decision_scores(matrix)
+        threshold = self.bundle.classifier.threshold_
+        verdicts: list[Verdict] = []
+        for position, domain in enumerate(domains):
+            is_known = bool(known[position])
+            if not is_known and self.unknown_policy == "reject":
+                verdicts.append(
+                    Verdict(
+                        domain=domain,
+                        score=math.nan,
+                        malicious=False,
+                        known=False,
+                    )
+                )
+                continue
+            score = float(scores[position])
+            verdicts.append(
+                Verdict(
+                    domain=domain,
+                    score=score,
+                    malicious=score >= threshold,
+                    known=is_known,
+                )
+            )
+        return verdicts
+
+    def _record_metrics(self, hits: int, misses: int) -> None:
+        registry = self._metrics
+        registry.counter("serve.scored_domains").inc(hits + misses)
+        if hits:
+            registry.counter("serve.cache.hits").inc(hits)
+        if misses:
+            registry.counter("serve.cache.misses").inc(misses)
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+            total = self._hits + self._misses
+        if total:
+            registry.gauge("serve.cache.hit_ratio").set(self._hits / total)

@@ -1,0 +1,403 @@
+"""HTTP scoring daemon over a model registry.
+
+A :class:`ScoringService` wraps a :class:`~repro.serve.registry.
+ModelRegistry` plus the active :class:`~repro.serve.scorer.DomainScorer`
+behind a ``ThreadingHTTPServer``:
+
+============================  =========================================
+``POST /v1/score``            score one domain or a batch (JSON in/out)
+``GET /healthz``              liveness — 200 while the process runs
+``GET /readyz``               readiness — 200 once a model is loaded
+``GET /metrics``              JSON snapshot of the metrics registry
+``POST /admin/reload``        swap to the latest (or a given) version
+============================  =========================================
+
+Operational guarantees:
+
+* requests are bounded (``Content-Length`` required, capped at
+  ``max_request_bytes``; batches capped at ``max_batch_size``);
+* each connection gets a socket timeout, so a stalled client cannot pin
+  a handler thread forever;
+* reload is zero-downtime — the new scorer is swapped in with a single
+  reference assignment, and requests already in flight finish on the
+  model they started with;
+* :meth:`ScoringService.stop` shuts down gracefully: the accept loop
+  exits first, then in-flight handler threads are joined.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.errors import ArtifactIntegrityError, DatasetError
+from repro.obs.export import snapshot_to_dict
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.serve.registry import ModelRegistry
+from repro.serve.scorer import UNKNOWN_POLICIES, DomainScorer, Verdict
+
+__all__ = ["ServiceConfig", "ScoringService"]
+
+_log = get_logger(__name__)
+
+
+@dataclass(slots=True)
+class ServiceConfig:
+    """Scoring-service knobs.
+
+    Attributes:
+        host: Bind address (loopback by default; expose deliberately).
+        port: Bind port; 0 asks the kernel for an ephemeral one.
+        max_request_bytes: Reject request bodies larger than this (413).
+        request_timeout_seconds: Per-connection socket timeout.
+        cache_size: Verdict LRU size for the active scorer.
+        unknown_policy: Unknown-domain policy (see
+            :data:`~repro.serve.scorer.UNKNOWN_POLICIES`).
+        max_batch_size: Most domains accepted in one ``/v1/score`` call.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8053
+    max_request_bytes: int = 1 << 20
+    request_timeout_seconds: float = 30.0
+    cache_size: int = 4096
+    unknown_policy: str = "zero"
+    max_batch_size: int = 10_000
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-range settings."""
+        if self.port < 0:
+            raise ValueError("port must be >= 0")
+        if self.max_request_bytes < 1:
+            raise ValueError("max_request_bytes must be positive")
+        if self.request_timeout_seconds <= 0:
+            raise ValueError("request_timeout_seconds must be positive")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if self.unknown_policy not in UNKNOWN_POLICIES:
+            raise ValueError(
+                f"unknown_policy must be one of {UNKNOWN_POLICIES}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class _ActiveModel:
+    """The hot-swappable unit: one version with its scorer."""
+
+    version: int
+    scorer: DomainScorer
+
+
+class ScoringService:
+    """Online scoring over the bundles published to a registry.
+
+    Construction loads the registry's published version when one exists;
+    otherwise the service starts unready (``/readyz`` 503) and becomes
+    ready after the first successful :meth:`reload`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self._metrics = metrics if metrics is not None else default_registry()
+        self._active: _ActiveModel | None = None
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        if registry.latest_version() is not None:
+            self.reload()
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+
+    @property
+    def ready(self) -> bool:
+        """Whether a model is loaded and scoring can be served."""
+        return self._active is not None
+
+    @property
+    def active_version(self) -> int | None:
+        """Version currently answering queries, or ``None``."""
+        snapshot = self._active
+        return snapshot.version if snapshot is not None else None
+
+    def reload(self, version: int | None = None) -> int:
+        """Load ``version`` (default: the registry's published one) and
+        swap it in without dropping in-flight requests."""
+        resolved = version if version is not None else (
+            self.registry.latest_version()
+        )
+        if resolved is None:
+            raise DatasetError(
+                f"no published model versions under {self.registry.root}"
+            )
+        bundle = self.registry.load(resolved)
+        scorer = DomainScorer(
+            bundle,
+            cache_size=self.config.cache_size,
+            unknown_policy=self.config.unknown_policy,
+            metrics=self._metrics,
+        )
+        previous = self.active_version
+        # The swap: one reference assignment. Handler threads snapshot
+        # self._active once per request, so they never see a torn pair.
+        self._active = _ActiveModel(version=resolved, scorer=scorer)
+        self._metrics.gauge("serve.model_version").set(resolved)
+        self._metrics.counter("serve.reloads").inc()
+        _log.info(
+            "model_reloaded",
+            version=resolved,
+            previous_version=previous,
+            domains=scorer.known_domains,
+        )
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Server lifecycle
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a background thread; returns (host, port).
+
+        With ``config.port == 0`` the returned port is the ephemeral one
+        the kernel assigned.
+        """
+        if self._server is not None:
+            raise RuntimeError("service is already running")
+        server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _build_handler(self)
+        )
+        # Graceful shutdown: wait for in-flight handler threads on close
+        # (a stalled client is bounded by the per-connection timeout).
+        server.daemon_threads = False
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        host, port = server.server_address[:2]
+        _log.info(
+            "service_started",
+            host=str(host),
+            port=int(port),
+            model_version=self.active_version,
+        )
+        return str(host), int(port)
+
+    def stop(self) -> None:
+        """Stop accepting, finish in-flight requests, release the port."""
+        server = self._server
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        self._server = None
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.config.request_timeout_seconds)
+            self._thread = None
+        _log.info("service_stopped")
+
+    def __enter__(self) -> "ScoringService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+
+    def handle_score(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Score request -> (HTTP status, response body)."""
+        active = self._active  # one snapshot: reloads can't tear it
+        if active is None:
+            return 503, {"error": "no model loaded"}
+        raw = payload.get("domains")
+        if raw is None:
+            single = payload.get("domain")
+            if single is None:
+                return 400, {"error": 'expected "domain" or "domains"'}
+            raw = [single]
+        if not isinstance(raw, list) or not raw:
+            return 400, {"error": '"domains" must be a non-empty list'}
+        if len(raw) > self.config.max_batch_size:
+            return 413, {
+                "error": f"batch of {len(raw)} exceeds "
+                f"max_batch_size={self.config.max_batch_size}"
+            }
+        if not all(isinstance(d, str) and d for d in raw):
+            return 400, {"error": "every domain must be a non-empty string"}
+        verdicts = active.scorer.score_batch(raw)
+        return 200, {
+            "model_version": active.version,
+            "results": [_verdict_to_json(v) for v in verdicts],
+        }
+
+    def handle_reload(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Reload request -> (HTTP status, response body)."""
+        version = payload.get("version")
+        if version is not None and not isinstance(version, int):
+            return 400, {"error": '"version" must be an integer'}
+        previous = self.active_version
+        try:
+            resolved = self.reload(version)
+        except (DatasetError, ArtifactIntegrityError) as exc:
+            return 409, {"error": str(exc)}
+        return 200, {
+            "model_version": resolved,
+            "previous_version": previous,
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The /metrics payload."""
+        return snapshot_to_dict(self._metrics)
+
+
+def _verdict_to_json(verdict: Verdict) -> dict[str, Any]:
+    """JSON-safe verdict (NaN — rejected unknown — becomes null)."""
+    score: float | None = verdict.score
+    if score is not None and math.isnan(score):
+        score = None
+    return {
+        "domain": verdict.domain,
+        "score": score,
+        "malicious": verdict.malicious,
+        "known": verdict.known,
+    }
+
+
+def _build_handler(service: ScoringService) -> type[BaseHTTPRequestHandler]:
+    """A request-handler class closed over ``service``."""
+
+    request_histogram = service._metrics.histogram("serve.request.seconds")
+    request_counter = service._metrics.counter("serve.requests")
+    error_counter = service._metrics.counter("serve.errors")
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/1"
+        # Per-connection socket timeout: a stalled client gets cut off
+        # instead of pinning a handler thread.
+        timeout = service.config.request_timeout_seconds
+
+        def log_message(self, format: str, *args: Any) -> None:
+            _log.debug("http_access", message=format % args)
+
+        # -- plumbing ---------------------------------------------------
+
+        def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if status >= 400:
+                # Error paths may not have drained the request body;
+                # closing keeps the framing honest under HTTP/1.1.
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(body)
+            request_counter.inc()
+            if status >= 400:
+                error_counter.inc()
+
+        def _read_json_body(self) -> Mapping[str, Any] | None:
+            """Parsed body, or ``None`` after an error response."""
+            length_header = self.headers.get("Content-Length")
+            if length_header is None:
+                self._send_json(411, {"error": "Content-Length required"})
+                return None
+            try:
+                length = int(length_header)
+            except ValueError:
+                self._send_json(400, {"error": "bad Content-Length"})
+                return None
+            if length < 0:
+                self._send_json(400, {"error": "bad Content-Length"})
+                return None
+            if length > service.config.max_request_bytes:
+                self._send_json(
+                    413,
+                    {
+                        "error": f"request body over "
+                        f"{service.config.max_request_bytes} bytes"
+                    },
+                )
+                return None
+            body = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(body or b"{}")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self._send_json(400, {"error": "request body is not JSON"})
+                return None
+            if not isinstance(payload, dict):
+                self._send_json(
+                    400, {"error": "request body must be a JSON object"}
+                )
+                return None
+            return payload
+
+        # -- endpoints --------------------------------------------------
+
+        def do_GET(self) -> None:
+            started = time.perf_counter()
+            try:
+                if self.path == "/healthz":
+                    self._send_json(200, {"status": "ok"})
+                elif self.path == "/readyz":
+                    version = service.active_version
+                    if version is None:
+                        self._send_json(
+                            503, {"ready": False, "error": "no model loaded"}
+                        )
+                    else:
+                        self._send_json(
+                            200, {"ready": True, "model_version": version}
+                        )
+                elif self.path == "/metrics":
+                    self._send_json(200, service.metrics_snapshot())
+                else:
+                    self._send_json(
+                        404, {"error": f"unknown path {self.path}"}
+                    )
+            finally:
+                request_histogram.observe(time.perf_counter() - started)
+
+        def do_POST(self) -> None:
+            started = time.perf_counter()
+            try:
+                if self.path == "/v1/score":
+                    payload = self._read_json_body()
+                    if payload is None:
+                        return
+                    status, response = service.handle_score(payload)
+                    self._send_json(status, response)
+                elif self.path == "/admin/reload":
+                    payload = self._read_json_body()
+                    if payload is None:
+                        return
+                    status, response = service.handle_reload(payload)
+                    self._send_json(status, response)
+                else:
+                    self._send_json(
+                        404, {"error": f"unknown path {self.path}"}
+                    )
+            finally:
+                request_histogram.observe(time.perf_counter() - started)
+
+    return Handler

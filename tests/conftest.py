@@ -54,3 +54,42 @@ def labeled_dataset(tiny_trace, processed_detector):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def make_bundle():
+    """Factory for small synthetic model bundles (fast to fit).
+
+    Features carry a per-class offset so the SVM has real signal and
+    threshold calibration produces a sensible cut; the seed goes into
+    the config fingerprint so tests can tell bundles apart after a
+    round trip through the registry.
+    """
+    from repro.core.detector import MaliciousDomainClassifier
+    from repro.ml.preprocessing import StandardScaler
+    from repro.serve import ModelBundle
+
+    def _make(seed=0, count=24, dimension=6, scaled=False, metrics=None):
+        generator = np.random.default_rng(seed)
+        labels = np.arange(count) % 2
+        features = (
+            generator.normal(size=(count, dimension)) + labels[:, None] * 2.0
+        )
+        scaler = None
+        train = features
+        if scaled:
+            scaler = StandardScaler().fit(features)
+            train = scaler.transform(features)
+        classifier = MaliciousDomainClassifier().fit(train, labels)
+        domains = [f"d{seed}-{i}.example" for i in range(count)]
+        return ModelBundle.create(
+            classifier,
+            features,
+            domains,
+            scaler=scaler,
+            config_fingerprint=f"fp-{seed}",
+            metrics=metrics,
+            created_at=1_700_000_000.0 + seed,
+        )
+
+    return _make

@@ -120,6 +120,88 @@ class TestBadInputPaths:
         assert "not a directory" in capsys.readouterr().err
 
 
+class TestSaveModel:
+    def test_detect_publishes_matching_model(self, trace_dir, tmp_path, capsys):
+        from repro.serve import DomainScorer, ModelRegistry
+
+        registry_dir = tmp_path / "models"
+        code = main(
+            ["detect", str(trace_dir), "--dimension", "8",
+             "--save-model", str(registry_dir)]
+        )
+        assert code == 0
+        assert "published model v0001" in capsys.readouterr().out
+        registry = ModelRegistry(registry_dir)
+        assert registry.versions() == [1]
+        scorer = DomainScorer(registry.load(1), cache_size=0)
+        rows = [
+            line.split("\t")
+            for line in (trace_dir / "scores.tsv").read_text().splitlines()
+        ]
+        assert scorer.known_domains == len(rows)
+        # The published bundle answers with the scores detect printed
+        # (scores.tsv rounds to 6 decimals; batch on both sides).
+        verdicts = scorer.score_batch([domain for domain, __ in rows])
+        for verdict, (domain, score_text) in zip(verdicts, rows):
+            assert verdict.known is True
+            assert verdict.score == pytest.approx(
+                float(score_text), abs=5e-7
+            )
+
+    def test_detect_bad_save_model_path_exits_2(
+        self, trace_dir, tmp_path, capsys
+    ):
+        occupied = tmp_path / "occupied"
+        occupied.write_text("not a directory")
+        code = main(
+            ["detect", str(trace_dir), "--save-model", str(occupied)]
+        )
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_detect_missing_save_model_parent_exits_2(
+        self, trace_dir, tmp_path, capsys
+    ):
+        missing = tmp_path / "no" / "such" / "registry"
+        code = main(
+            ["detect", str(trace_dir), "--save-model", str(missing)]
+        )
+        assert code == 2
+        assert "parent directory does not exist" in capsys.readouterr().err
+
+    def test_cluster_save_model_requires_groundtruth(
+        self, trace_dir, tmp_path, capsys
+    ):
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        (bare / "dns.log").write_text((trace_dir / "dns.log").read_text())
+        code = main(
+            ["cluster", str(bare), "--save-model", str(tmp_path / "models")]
+        )
+        assert code == 2
+        assert "requires groundtruth.tsv" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_missing_registry_exits_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_registry_path_is_file_exits_2(self, tmp_path, capsys):
+        occupied = tmp_path / "occupied"
+        occupied.write_text("x")
+        assert main(["serve", str(occupied)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_empty_registry_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["serve", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "no published model versions" in err
+        assert "detect --save-model" in err
+
+
 class TestObservability:
     def test_detect_metrics_out_writes_stage_snapshot(self, trace_dir, capsys):
         import json

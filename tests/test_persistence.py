@@ -3,17 +3,24 @@
 import numpy as np
 import pytest
 
+from repro.core.detector import MaliciousDomainClassifier
 from repro.core.features import FeatureSpace
 from repro.core.persistence import (
+    load_classifier,
     load_embedding,
     load_feature_space,
+    load_scaler,
     load_similarity_graph,
+    save_classifier,
     save_embedding,
     save_feature_space,
+    save_scaler,
     save_similarity_graph,
 )
 from repro.embedding.line import LineConfig, LineEmbedding
+from repro.errors import NotFittedError
 from repro.graphs.projection import SimilarityGraph
+from repro.ml.preprocessing import StandardScaler
 
 
 @pytest.fixture()
@@ -87,3 +94,69 @@ class TestGraphRoundTrip:
             loaded, LineConfig(dimension=4, total_samples=5_000)
         )
         assert result.vectors.shape == (3, 4)
+
+
+class TestClassifierRoundTrip:
+    @pytest.fixture()
+    def fitted(self, rng):
+        labels = np.arange(30) % 2
+        features = rng.normal(size=(30, 5)) + labels[:, None] * 2.0
+        return MaliciousDomainClassifier().fit(features, labels), features
+
+    def test_decision_function_byte_exact(self, fitted, tmp_path, rng):
+        classifier, __ = fitted
+        path = tmp_path / "classifier.npz"
+        save_classifier(classifier, path)
+        loaded = load_classifier(path)
+        probe = rng.normal(size=(12, 5))
+        # Not allclose: the kernel expansion over bit-equal float64
+        # support vectors must reproduce scores exactly.
+        assert np.array_equal(
+            loaded.decision_function(probe),
+            classifier.decision_function(probe),
+        )
+        assert np.array_equal(loaded.predict(probe), classifier.predict(probe))
+
+    def test_calibrated_threshold_preserved(self, fitted, tmp_path):
+        classifier, __ = fitted
+        path = tmp_path / "classifier.npz"
+        save_classifier(classifier, path)
+        loaded = load_classifier(path)
+        assert loaded.threshold is None  # configured: calibrate-on-fit
+        assert loaded.threshold_ == classifier.threshold_
+
+    def test_fixed_threshold_preserved(self, rng, tmp_path):
+        labels = np.arange(20) % 2
+        features = rng.normal(size=(20, 4)) + labels[:, None]
+        classifier = MaliciousDomainClassifier(threshold=0.5).fit(
+            features, labels
+        )
+        path = tmp_path / "classifier.npz"
+        save_classifier(classifier, path)
+        loaded = load_classifier(path)
+        assert loaded.threshold == 0.5
+        assert loaded.threshold_ == 0.5
+
+    def test_unfitted_classifier_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_classifier(
+                MaliciousDomainClassifier(), tmp_path / "classifier.npz"
+            )
+
+
+class TestScalerRoundTrip:
+    def test_transform_byte_exact(self, rng, tmp_path):
+        scaler = StandardScaler().fit(rng.normal(size=(40, 6)))
+        path = tmp_path / "scaler.npz"
+        save_scaler(scaler, path)
+        loaded = load_scaler(path)
+        probe = rng.normal(size=(10, 6))
+        assert np.array_equal(loaded.mean_, scaler.mean_)
+        assert np.array_equal(loaded.scale_, scaler.scale_)
+        assert np.array_equal(
+            loaded.transform(probe), scaler.transform(probe)
+        )
+
+    def test_unfitted_scaler_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_scaler(StandardScaler(), tmp_path / "scaler.npz")

@@ -1,0 +1,135 @@
+"""Tests for the versioned model registry (atomic publish, hot swap)."""
+
+import threading
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.serve import ModelRegistry
+from repro.serve.registry import CURRENT_FILENAME
+
+
+class TestPublish:
+    def test_versions_count_up_from_one(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        assert registry.versions() == []
+        assert registry.latest_version() is None
+        assert registry.publish(make_bundle(seed=1)) == 1
+        assert registry.publish(make_bundle(seed=2)) == 2
+        assert registry.versions() == [1, 2]
+        assert registry.latest_version() == 2
+
+    def test_slot_layout_and_current_pointer(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle())
+        assert (registry.root / "v0001" / "manifest.json").is_file()
+        pointer = registry.root / CURRENT_FILENAME
+        assert pointer.read_text().strip() == "1"
+
+    def test_no_staging_leftovers(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle())
+        leftovers = [
+            entry.name
+            for entry in registry.root.iterdir()
+            if entry.name.startswith(".")
+        ]
+        assert leftovers == []
+
+    def test_existing_slot_never_overwritten(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        # A slot that appeared out-of-band (another process) is skipped,
+        # not clobbered.
+        (registry.root / "v0002").mkdir()
+        version = registry.publish(make_bundle(seed=9))
+        assert version == 3
+        assert registry.load(3).manifest.config_fingerprint == "fp-9"
+
+    def test_slot_path_rejects_bad_version(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        with pytest.raises(ValueError):
+            registry.slot_path(0)
+
+
+class TestLoad:
+    def test_load_specific_and_latest(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        registry.publish(make_bundle(seed=2))
+        assert registry.load(1).manifest.config_fingerprint == "fp-1"
+        assert registry.load().manifest.config_fingerprint == "fp-2"
+
+    def test_empty_registry_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        with pytest.raises(DatasetError, match="no published"):
+            registry.load()
+
+    def test_corrupt_current_falls_back_to_highest_slot(
+        self, make_bundle, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        registry.publish(make_bundle(seed=2))
+        (registry.root / CURRENT_FILENAME).write_text("garbage")
+        assert registry.latest_version() == 2
+
+    def test_dangling_current_falls_back(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        (registry.root / CURRENT_FILENAME).write_text("99\n")
+        assert registry.latest_version() == 1
+
+
+class TestHotSwap:
+    def test_activate_latest(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        assert registry.active is None
+        assert registry.active_version is None
+        registry.publish(make_bundle(seed=1))
+        assert registry.activate() == 1
+        version, bundle = registry.active
+        assert version == 1
+        assert bundle.manifest.config_fingerprint == "fp-1"
+
+    def test_activate_empty_registry_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        with pytest.raises(DatasetError):
+            registry.activate()
+
+    def test_concurrent_swap_readers_never_see_torn_state(
+        self, make_bundle, tmp_path
+    ):
+        """Readers under continuous hot swap always observe a matched
+        (version, bundle) pair — fingerprint "fp-N" belongs to vN."""
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        registry.activate()
+        stop = threading.Event()
+        torn: list[tuple[int, str]] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                snapshot = registry.active
+                if snapshot is None:
+                    continue
+                version, bundle = snapshot
+                fingerprint = bundle.manifest.config_fingerprint
+                if fingerprint != f"fp-{version}":
+                    torn.append((version, fingerprint))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for seed in range(2, 7):
+                version = registry.publish(make_bundle(seed=seed))
+                assert version == seed
+                registry.activate(version)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert torn == []
+        assert registry.active_version == 6

@@ -1,0 +1,162 @@
+"""Tests for the vectorized domain scorer (cache, unknown policies)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import DomainScorer
+
+
+@pytest.fixture()
+def bundle(make_bundle):
+    return make_bundle(seed=5, count=16, dimension=4)
+
+
+class TestScoring:
+    def test_known_domain_matches_bundle_scores(self, bundle):
+        # Compare same-shaped computations: BLAS picks different kernels
+        # for different matrix shapes, so only equal-shape calls are
+        # bit-identical.
+        scorer = DomainScorer(bundle)
+        for row in (0, 7, 15):
+            verdict = scorer.score(bundle.domains[row])
+            expected = bundle.decision_scores(
+                bundle.features[row:row + 1]
+            )[0]
+            assert verdict.known is True
+            assert verdict.score == expected
+            assert verdict.malicious == (
+                verdict.score >= bundle.classifier.threshold_
+            )
+
+    def test_batch_preserves_input_order(self, bundle):
+        scorer = DomainScorer(bundle)
+        queried = [bundle.domains[3], "nope.example", bundle.domains[1]]
+        verdicts = scorer.score_batch(queried)
+        assert [v.domain for v in verdicts] == queried
+
+    def test_batch_matches_direct_computation(self, bundle):
+        batch = DomainScorer(bundle).score_batch(bundle.domains[:6])
+        expected = bundle.decision_scores(bundle.features[:6])
+        assert [v.score for v in batch] == list(expected)
+
+    def test_batch_close_to_singles(self, bundle):
+        # Not bit-identical (1-row vs 6-row BLAS paths) but equal to
+        # within float64 noise.
+        batch = DomainScorer(bundle).score_batch(bundle.domains[:6])
+        singles = [DomainScorer(bundle).score(d) for d in bundle.domains[:6]]
+        for joint, single in zip(batch, singles):
+            assert joint.score == pytest.approx(single.score, rel=1e-9)
+            assert joint.malicious == single.malicious
+
+    def test_scaled_bundle_applies_scaler(self, make_bundle):
+        bundle = make_bundle(seed=6, scaled=True)
+        scorer = DomainScorer(bundle)
+        expected = bundle.decision_scores(bundle.features[:1])[0]
+        assert scorer.score(bundle.domains[0]).score == expected
+
+
+class TestUnknownPolicy:
+    def test_zero_policy_scores_no_evidence_vector(self, bundle):
+        scorer = DomainScorer(bundle, unknown_policy="zero")
+        verdict = scorer.score("never-seen.example")
+        zero_score = bundle.decision_scores(
+            np.zeros((1, bundle.dimension))
+        )[0]
+        assert verdict.known is False
+        assert verdict.score == zero_score
+
+    def test_reject_policy_returns_nan(self, bundle):
+        scorer = DomainScorer(bundle, unknown_policy="reject")
+        verdict = scorer.score("never-seen.example")
+        assert verdict.known is False
+        assert math.isnan(verdict.score)
+        assert verdict.malicious is False
+
+    def test_reject_policy_still_scores_known(self, bundle):
+        scorer = DomainScorer(bundle, unknown_policy="reject")
+        verdict = scorer.score(bundle.domains[0])
+        assert verdict.known is True
+        assert not math.isnan(verdict.score)
+
+    def test_bad_policy_rejected(self, bundle):
+        with pytest.raises(ValueError, match="unknown_policy"):
+            DomainScorer(bundle, unknown_policy="explode")
+
+
+class TestCache:
+    def test_repeat_queries_served_from_cache(self, bundle):
+        registry = MetricsRegistry()
+        scorer = DomainScorer(bundle, metrics=registry)
+        first = scorer.score(bundle.domains[0])
+        second = scorer.score(bundle.domains[0])
+        assert first == second
+        assert scorer.cache_len == 1
+        assert registry.counter("serve.cache.hits").value == 1
+        assert registry.counter("serve.cache.misses").value == 1
+        assert registry.gauge("serve.cache.hit_ratio").value == 0.5
+
+    def test_lru_eviction(self, bundle):
+        scorer = DomainScorer(bundle, cache_size=2)
+        scorer.score(bundle.domains[0])
+        scorer.score(bundle.domains[1])
+        scorer.score(bundle.domains[0])  # refresh 0: now 1 is the LRU
+        scorer.score(bundle.domains[2])  # evicts 1
+        assert scorer.cache_len == 2
+        registry = MetricsRegistry()
+        tracked = DomainScorer(bundle, cache_size=2, metrics=registry)
+        tracked.score(bundle.domains[0])
+        tracked.score(bundle.domains[1])
+        tracked.score(bundle.domains[0])
+        tracked.score(bundle.domains[2])
+        tracked.score(bundle.domains[1])  # evicted above -> miss again
+        assert registry.counter("serve.cache.misses").value == 4
+
+    def test_cache_disabled(self, bundle):
+        registry = MetricsRegistry()
+        scorer = DomainScorer(bundle, cache_size=0, metrics=registry)
+        scorer.score(bundle.domains[0])
+        scorer.score(bundle.domains[0])
+        assert scorer.cache_len == 0
+        assert registry.counter("serve.cache.misses").value == 2
+
+    def test_negative_cache_size_rejected(self, bundle):
+        with pytest.raises(ValueError, match="cache_size"):
+            DomainScorer(bundle, cache_size=-1)
+
+    def test_throughput_counter(self, bundle):
+        registry = MetricsRegistry()
+        scorer = DomainScorer(bundle, metrics=registry)
+        scorer.score_batch(bundle.domains[:5])
+        scorer.score_batch(bundle.domains[:5])
+        assert registry.counter("serve.scored_domains").value == 10
+
+
+class TestConcurrency:
+    def test_threaded_batches_agree_with_serial(self, bundle):
+        import threading
+
+        scorer = DomainScorer(bundle, cache_size=8)
+        expected = {
+            d: DomainScorer(bundle, cache_size=0).score(d)
+            for d in bundle.domains
+        }
+        failures: list[str] = []
+
+        def worker(offset: int) -> None:
+            for i in range(50):
+                domain = bundle.domains[(offset + i) % len(bundle.domains)]
+                if scorer.score(domain) != expected[domain]:
+                    failures.append(domain)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []

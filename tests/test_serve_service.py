@@ -1,0 +1,254 @@
+"""HTTP smoke tests for the scoring service (ephemeral port)."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    DomainScorer,
+    ModelRegistry,
+    ScoringService,
+    ServiceConfig,
+)
+
+
+def _request(port, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        connection.request(method, path, body=payload, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        connection.close()
+
+
+def _get(port, path):
+    return _request(port, "GET", path)
+
+
+def _post(port, path, body):
+    return _request(port, "POST", path, body=body)
+
+
+@pytest.fixture()
+def service_setup(make_bundle, tmp_path):
+    registry = ModelRegistry(tmp_path / "models")
+    registry.publish(make_bundle(seed=1))
+    metrics = MetricsRegistry()
+    config = ServiceConfig(
+        port=0,
+        max_request_bytes=4096,
+        max_batch_size=8,
+        request_timeout_seconds=5.0,
+    )
+    service = ScoringService(registry, config, metrics=metrics)
+    __, port = service.start()
+    yield service, registry, port, metrics, make_bundle
+    service.stop()
+
+
+class TestHealth:
+    def test_healthz(self, service_setup):
+        __, __, port, __, __ = service_setup
+        assert _get(port, "/healthz") == (200, {"status": "ok"})
+
+    def test_readyz_with_model(self, service_setup):
+        __, __, port, __, __ = service_setup
+        status, body = _get(port, "/readyz")
+        assert status == 200
+        assert body == {"ready": True, "model_version": 1}
+
+    def test_unready_without_model(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "empty")
+        service = ScoringService(
+            registry, ServiceConfig(port=0), metrics=MetricsRegistry()
+        )
+        assert service.ready is False
+        with service:
+            __, port = service._server.server_address[:2]
+            status, body = _get(port, "/readyz")
+            assert status == 503
+            assert body["ready"] is False
+            status, body = _post(port, "/v1/score", {"domain": "a.example"})
+            assert status == 503
+
+    def test_unknown_paths_404(self, service_setup):
+        __, __, port, __, __ = service_setup
+        assert _get(port, "/nope")[0] == 404
+        assert _post(port, "/nope", {})[0] == 404
+
+
+class TestScore:
+    def test_http_matches_in_process_scorer(self, service_setup):
+        __, registry, port, __, __ = service_setup
+        scorer = DomainScorer(registry.load(1), cache_size=0)
+        domains = registry.load(1).domains[:5]
+        status, body = _post(port, "/v1/score", {"domains": domains})
+        assert status == 200
+        assert body["model_version"] == 1
+        # One batch on both sides: same shapes -> bit-identical scores.
+        verdicts = scorer.score_batch(domains)
+        for result, verdict in zip(body["results"], verdicts):
+            assert result["domain"] == verdict.domain
+            assert result["score"] == verdict.score
+            assert result["malicious"] == verdict.malicious
+            assert result["known"] is True
+
+    def test_single_domain_form(self, service_setup):
+        __, registry, port, __, __ = service_setup
+        domain = registry.load(1).domains[0]
+        status, body = _post(port, "/v1/score", {"domain": domain})
+        assert status == 200
+        assert len(body["results"]) == 1
+        assert body["results"][0]["domain"] == domain
+
+    def test_unknown_domain_flagged(self, service_setup):
+        __, __, port, __, __ = service_setup
+        status, body = _post(
+            port, "/v1/score", {"domains": ["never-seen.example"]}
+        )
+        assert status == 200
+        assert body["results"][0]["known"] is False
+
+    def test_bad_payloads_rejected(self, service_setup):
+        __, __, port, __, __ = service_setup
+        assert _post(port, "/v1/score", {})[0] == 400
+        assert _post(port, "/v1/score", {"domains": []})[0] == 400
+        assert _post(port, "/v1/score", {"domains": "x.example"})[0] == 400
+        assert _post(port, "/v1/score", {"domains": [1, 2]})[0] == 400
+
+    def test_batch_cap_enforced(self, service_setup):
+        __, __, port, __, __ = service_setup
+        batch = [f"d{i}.example" for i in range(9)]  # cap is 8
+        status, body = _post(port, "/v1/score", {"domains": batch})
+        assert status == 413
+        assert "max_batch_size" in body["error"]
+
+    def test_oversize_body_rejected(self, service_setup):
+        __, __, port, __, __ = service_setup
+        huge = {"domains": ["x" * 5000 + ".example"]}  # > 4096 bytes
+        assert _post(port, "/v1/score", huge)[0] == 413
+
+    def test_non_json_body_rejected(self, service_setup):
+        __, __, port, __, __ = service_setup
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            connection.request("POST", "/v1/score", body=b"not json {")
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_missing_content_length_rejected(self, service_setup):
+        __, __, port, __, __ = service_setup
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/score")
+            connection.endheaders()
+            assert connection.getresponse().status == 411
+        finally:
+            connection.close()
+
+
+class TestReload:
+    def test_reload_swaps_to_new_version(self, service_setup):
+        service, registry, port, __, make_bundle = service_setup
+        registry.publish(make_bundle(seed=2))
+        status, body = _post(port, "/admin/reload", {})
+        assert status == 200
+        assert body == {"model_version": 2, "previous_version": 1}
+        assert service.active_version == 2
+        status, body = _post(
+            port, "/v1/score", {"domains": [registry.load(2).domains[0]]}
+        )
+        assert body["model_version"] == 2
+        assert body["results"][0]["known"] is True
+
+    def test_reload_to_explicit_version(self, service_setup):
+        __, registry, port, __, make_bundle = service_setup
+        registry.publish(make_bundle(seed=2))
+        _post(port, "/admin/reload", {})
+        status, body = _post(port, "/admin/reload", {"version": 1})
+        assert status == 200
+        assert body["model_version"] == 1
+
+    def test_reload_missing_version_conflicts(self, service_setup):
+        __, __, port, __, __ = service_setup
+        status, body = _post(port, "/admin/reload", {"version": 99})
+        assert status == 409
+        assert "error" in body
+
+    def test_reload_bad_version_type(self, service_setup):
+        __, __, port, __, __ = service_setup
+        assert _post(port, "/admin/reload", {"version": "two"})[0] == 400
+
+    def test_reload_under_concurrent_scoring(self, service_setup):
+        """Requests racing a hot swap all succeed on a whole model."""
+        __, registry, port, __, make_bundle = service_setup
+        domain = registry.load(1).domains[0]
+        errors: list[object] = []
+
+        def hammer() -> None:
+            for __ in range(10):
+                status, body = _post(
+                    port, "/v1/score", {"domains": [domain]}
+                )
+                if status != 200 or body["model_version"] not in (1, 2):
+                    errors.append((status, body))
+                    return
+
+        threads = [threading.Thread(target=hammer) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        registry.publish(make_bundle(seed=2))
+        _post(port, "/admin/reload", {})
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestMetrics:
+    def test_metrics_endpoint_reports_serving_metrics(self, service_setup):
+        __, registry, port, metrics, __ = service_setup
+        _post(port, "/v1/score", {"domains": [registry.load(1).domains[0]]})
+        status, snapshot = _get(port, "/metrics")
+        assert status == 200
+        assert snapshot["gauges"]["serve.model_version"]["value"] == 1
+        assert snapshot["counters"]["serve.reloads"]["value"] >= 1
+        assert snapshot["counters"]["serve.requests"]["value"] >= 1
+        assert "serve.request.seconds" in snapshot["histograms"]
+        assert metrics.counter("serve.scored_domains").value >= 1
+
+
+class TestLifecycle:
+    def test_stop_releases_port(self, make_bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle())
+        service = ScoringService(
+            registry, ServiceConfig(port=0), metrics=MetricsRegistry()
+        )
+        __, port = service.start()
+        assert _get(port, "/healthz")[0] == 200
+        service.stop()
+        with pytest.raises(OSError):
+            _get(port, "/healthz")
+
+    def test_double_start_rejected(self, service_setup):
+        service, __, __, __, __ = service_setup
+        with pytest.raises(RuntimeError, match="already running"):
+            service.start()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(port=-1).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(max_request_bytes=0).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(request_timeout_seconds=0).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch_size=0).validate()
+        with pytest.raises(ValueError):
+            ServiceConfig(unknown_policy="bogus").validate()

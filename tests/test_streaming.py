@@ -128,6 +128,34 @@ class TestStreamingDetector:
         # The second half of the trace surfaces new domains.
         assert len(domains_after) >= len(domains_before)
 
+    def test_publish_creates_versioned_bundle(self, stream_setup, tmp_path):
+        from repro.obs.metrics import default_registry
+        from repro.serve import ModelRegistry
+
+        stream, remaining, make_dataset, trace = stream_setup
+        if stream.refreshes == 0:
+            stream.refresh(make_dataset())
+        registry = ModelRegistry(tmp_path / "models")
+        version = stream.publish(registry)
+        assert version == 1
+        bundle = registry.load(1)
+        assert bundle.domains == stream.known_domains
+        assert bundle.manifest.metrics["refreshes"] == float(stream.refreshes)
+        assert bundle.manifest.metrics["records_ingested"] == float(
+            stream.builder.records_ingested
+        )
+        assert default_registry().gauge("serve.model_version").value == 1
+        # A second refresh->publish cycle appends, never overwrites.
+        assert stream.publish(registry) == 2
+        assert registry.versions() == [1, 2]
+
+    def test_publish_before_refresh_raises(self, tiny_trace, tmp_path):
+        from repro.serve import ModelRegistry
+
+        stream = StreamingDetector(dhcp=tiny_trace.dhcp)
+        with pytest.raises(NotFittedError):
+            stream.publish(ModelRegistry(tmp_path / "models"))
+
     def test_detection_quality_after_full_stream(self, stream_setup):
         stream, remaining, make_dataset, trace = stream_setup
         stream.ingest(remaining)
