@@ -27,6 +27,14 @@ Parallelism: ``detect`` and ``cluster`` accept ``--workers N`` (``0``
 serial, ``auto`` one per CPU) and ``--parallel-backend`` to fan the
 embedding stage out over workers; embeddings are byte-identical to the
 serial run for the same seed (see docs/parallelism.md).
+
+Out-of-core ingestion: ``detect`` and ``cluster`` accept
+``--chunk-records`` / ``--chunk-seconds`` to stream the trace in
+bounded batches instead of materializing it, ``--checkpoint-dir`` to
+persist a resumable checkpoint after every pipeline stage, and
+``--resume`` to continue a crashed run from its last complete stage —
+with outputs byte-identical to a monolithic cold run (see
+docs/ingestion.md).
 """
 
 from __future__ import annotations
@@ -53,6 +61,14 @@ from repro.dns.dhcp import DhcpLog
 from repro.dns.logfmt import DnsTraceReader
 from repro.dns.types import DnsQuery, DnsResponse
 from repro.embedding.line import KERNELS, LineConfig
+from repro.ingest import (
+    CheckpointedPipeline,
+    ChunkPolicy,
+    IngestConfig,
+    PipelineCheckpointer,
+    PipelineOutcome,
+    pipeline_fingerprint,
+)
 from repro.labels import (
     IntelligenceFeed,
     SimulatedThreatBook,
@@ -177,8 +193,8 @@ def _parse_workers(value: str) -> int | str:
     return workers
 
 
-def _build_detector(args, queries, responses, dhcp) -> MaliciousDomainDetector:
-    config = PipelineConfig(
+def _pipeline_config(args) -> PipelineConfig:
+    return PipelineConfig(
         embedding=LineConfig(
             dimension=args.dimension,
             seed=args.seed,
@@ -188,12 +204,86 @@ def _build_detector(args, queries, responses, dhcp) -> MaliciousDomainDetector:
             workers=args.workers, backend=args.parallel_backend
         ),
     )
-    detector = MaliciousDomainDetector(config)
+
+
+def _build_detector(args, queries, responses, dhcp) -> MaliciousDomainDetector:
+    detector = MaliciousDomainDetector(_pipeline_config(args))
     detector.build_graphs(queries, responses, dhcp)
     print(detector.pruning_report.summary(), file=sys.stderr)
     detector.build_similarity_graphs()
     detector.learn_embeddings()
     return detector
+
+
+def _chunked_requested(args) -> bool:
+    """Whether any chunked-ingestion flag engages the out-of-core path."""
+    return (
+        getattr(args, "chunk_records", None) is not None
+        or getattr(args, "chunk_seconds", None) is not None
+        or getattr(args, "checkpoint_dir", None) is not None
+        or getattr(args, "resume", False)
+    )
+
+
+def _reject_ingest_args(args) -> str | None:
+    """Why the chunked-ingestion flags are inconsistent, or ``None``."""
+    if getattr(args, "resume", False) and not getattr(
+        args, "checkpoint_dir", None
+    ):
+        return "--resume requires --checkpoint-dir"
+    chunk_records = getattr(args, "chunk_records", None)
+    if chunk_records is not None and chunk_records < 1:
+        return f"--chunk-records must be >= 1, got {chunk_records}"
+    chunk_seconds = getattr(args, "chunk_seconds", None)
+    if chunk_seconds is not None and chunk_seconds <= 0:
+        return f"--chunk-seconds must be positive, got {chunk_seconds}"
+    return None
+
+
+def _run_chunked_pipeline(
+    args,
+    directory: Path,
+    dhcp,
+    dataset_for,
+    *,
+    cluster_k_max: int | None = None,
+    cluster_seed: int = 0,
+) -> PipelineOutcome:
+    """Run the memory-bounded chunked pipeline for detect / cluster."""
+    config = _pipeline_config(args)
+    default_policy = ChunkPolicy()
+    policy = ChunkPolicy(
+        max_records=args.chunk_records
+        if args.chunk_records is not None
+        else default_policy.max_records,
+        max_seconds=args.chunk_seconds,
+    )
+    dns_log = directory / "dns.log"
+    checkpointer = None
+    if args.checkpoint_dir is not None:
+        fingerprint = pipeline_fingerprint(
+            config, {"dns": dns_log.resolve()}
+        )
+        checkpointer = PipelineCheckpointer(args.checkpoint_dir, fingerprint)
+    pipeline = CheckpointedPipeline(
+        config, IngestConfig(chunk=policy), checkpointer, dhcp=dhcp
+    )
+    outcome = pipeline.run(
+        dns_log,
+        dataset_for,
+        resume=args.resume,
+        cluster_k_max=cluster_k_max,
+        cluster_seed=cluster_seed,
+    )
+    if outcome.resumed_from is not None:
+        print(
+            f"resumed from checkpoint stage '{outcome.resumed_from}'",
+            file=sys.stderr,
+        )
+    report = outcome.detector.pruning_report
+    if report is not None:
+        print(report.summary(), file=sys.stderr)
+    return outcome
 
 
 def cmd_simulate(args) -> int:
@@ -253,29 +343,59 @@ def cmd_detect(args) -> int:
     model_outdir, outdir_ok = _require_model_outdir(args)
     if not outdir_ok:
         return 2
-    queries, responses, dhcp, truth = _load_trace_dir(directory)
-    if truth is None:
-        print(
-            "detect requires groundtruth.tsv for the simulated label feeds",
-            file=sys.stderr,
-        )
+    ingest_error = _reject_ingest_args(args)
+    if ingest_error is not None:
+        print(f"repro-dns detect: {ingest_error}", file=sys.stderr)
         return 2
-    detector = _build_detector(args, queries, responses, dhcp)
-    feed = IntelligenceFeed(truth)
-    virustotal = SimulatedVirusTotal(truth)
-    dataset = build_labeled_dataset(feed, virustotal, detector.domains)
-    detector.fit(dataset)
+    if _chunked_requested(args):
+        dhcp_path = directory / "dhcp.log"
+        dhcp = DhcpLog.load(dhcp_path) if dhcp_path.exists() else None
+        truth_path = directory / "groundtruth.tsv"
+        truth = GroundTruth.load(truth_path) if truth_path.exists() else None
+        if truth is None:
+            print(
+                "detect requires groundtruth.tsv for the simulated label "
+                "feeds",
+                file=sys.stderr,
+            )
+            return 2
+        feed = IntelligenceFeed(truth)
+        virustotal = SimulatedVirusTotal(truth)
+        outcome = _run_chunked_pipeline(
+            args,
+            directory,
+            dhcp,
+            lambda ds: build_labeled_dataset(feed, virustotal, ds),
+        )
+        detector = outcome.detector
+        domains = outcome.domains
+        scores = outcome.scores
+    else:
+        queries, responses, dhcp, truth = _load_trace_dir(directory)
+        if truth is None:
+            print(
+                "detect requires groundtruth.tsv for the simulated label "
+                "feeds",
+                file=sys.stderr,
+            )
+            return 2
+        detector = _build_detector(args, queries, responses, dhcp)
+        feed = IntelligenceFeed(truth)
+        virustotal = SimulatedVirusTotal(truth)
+        dataset = build_labeled_dataset(feed, virustotal, detector.domains)
+        detector.fit(dataset)
+        domains = detector.domains
+        scores = detector.decision_scores(domains)
 
-    scores = detector.decision_scores(detector.domains)
     order = np.argsort(-scores)
     out_path = directory / "scores.tsv"
     with open(out_path, "w", encoding="utf-8") as stream:
         for index in order:
-            stream.write(f"{detector.domains[int(index)]}\t{scores[index]:.6f}\n")
+            stream.write(f"{domains[int(index)]}\t{scores[index]:.6f}\n")
     print(f"wrote {len(scores)} scored domains to {out_path}")
     print("\ntop suspects:")
     for index in order[: args.top]:
-        print(f"  {scores[index]:+8.3f}  {detector.domains[int(index)]}")
+        print(f"  {scores[index]:+8.3f}  {domains[int(index)]}")
     if model_outdir is not None:
         _publish_model(detector, model_outdir)
     _emit_observability(args)
@@ -289,6 +409,64 @@ def cmd_cluster(args) -> int:
     model_outdir, outdir_ok = _require_model_outdir(args)
     if not outdir_ok:
         return 2
+    ingest_error = _reject_ingest_args(args)
+    if ingest_error is not None:
+        print(f"repro-dns cluster: {ingest_error}", file=sys.stderr)
+        return 2
+    if _chunked_requested(args):
+        dhcp_path = directory / "dhcp.log"
+        dhcp = DhcpLog.load(dhcp_path) if dhcp_path.exists() else None
+        truth_path = directory / "groundtruth.tsv"
+        truth = GroundTruth.load(truth_path) if truth_path.exists() else None
+        if model_outdir is not None and truth is None:
+            print(
+                "repro-dns cluster: --save-model requires groundtruth.tsv "
+                "to train the classifier",
+                file=sys.stderr,
+            )
+            return 2
+        dataset_for = None
+        if truth is not None:
+            feed = IntelligenceFeed(truth)
+            virustotal = SimulatedVirusTotal(truth)
+            dataset_for = lambda ds: build_labeled_dataset(  # noqa: E731
+                feed, virustotal, ds
+            )
+        outcome = _run_chunked_pipeline(
+            args,
+            directory,
+            dhcp,
+            dataset_for,
+            cluster_k_max=args.k_max,
+            cluster_seed=args.seed,
+        )
+        detector = outcome.detector
+        clusters = outcome.clusters or []
+        print(f"{len(clusters)} clusters")
+        if truth is not None:
+            threatbook = SimulatedThreatBook(truth)
+            for cluster in clusters:
+                category, share = threatbook.dominant_category(
+                    cluster.domains
+                )
+                if category == "unknown":
+                    continue
+                members = cluster.domains
+                print(
+                    f"  cluster {cluster.cluster_id:3d}: {len(members):5d} "
+                    f"domains, {share:.0%} "
+                    f"{category}: {', '.join(members[:3])}..."
+                )
+        else:
+            for cluster in clusters:
+                print(
+                    f"  cluster {cluster.cluster_id:3d}: {len(cluster):5d} "
+                    f"domains: {', '.join(cluster.domains[:3])}..."
+                )
+        if model_outdir is not None and truth is not None:
+            _publish_model(detector, model_outdir)
+        _emit_observability(args)
+        return 0
     queries, responses, dhcp, truth = _load_trace_dir(directory)
     if model_outdir is not None and truth is None:
         print(
@@ -380,6 +558,28 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _add_ingest_args(parser: argparse.ArgumentParser) -> None:
+    """Chunked-ingestion / checkpointing flags shared by detect and cluster."""
+    parser.add_argument("--chunk-records", type=int, default=None,
+                        metavar="N",
+                        help="ingest the trace in bounded chunks of at most "
+                        "N records (memory stays bounded by the chunk size) "
+                        "instead of one in-memory pass; outputs are "
+                        "byte-identical either way")
+    parser.add_argument("--chunk-seconds", type=float, default=None,
+                        metavar="S",
+                        help="additionally bound each chunk to S seconds of "
+                        "trace time")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        dest="checkpoint_dir",
+                        help="persist a resumable checkpoint after each "
+                        "pipeline stage under DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the last complete checkpoint in "
+                        "--checkpoint-dir (torn or mismatched checkpoints "
+                        "are rejected)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dns",
@@ -436,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="save_model",
                           help="publish the trained model as a new version "
                           "in registry DIR (servable with 'serve')")
+    _add_ingest_args(p_detect)
     p_detect.set_defaults(handler=cmd_detect)
 
     p_cluster = sub.add_parser("cluster", parents=[common],
@@ -461,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="save_model",
                            help="publish the trained model as a new version "
                            "in registry DIR (requires groundtruth.tsv)")
+    _add_ingest_args(p_cluster)
     p_cluster.set_defaults(handler=cmd_cluster)
 
     p_serve = sub.add_parser("serve", parents=[common],

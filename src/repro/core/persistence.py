@@ -37,7 +37,7 @@ def save_embedding(embedding: LineEmbedding, path: str | Path) -> None:
     np.savez_compressed(
         path,
         vectors=embedding.vectors,
-        domains=np.array(embedding.domains, dtype=object),
+        domains=np.array(embedding.domains, dtype=np.str_),
         kind=np.array(embedding.kind),
         config_json=np.array(json.dumps(config)),
         format_version=np.array(_FORMAT_VERSION),
@@ -46,7 +46,7 @@ def save_embedding(embedding: LineEmbedding, path: str | Path) -> None:
 
 def load_embedding(path: str | Path) -> LineEmbedding:
     """Read an embedding written by :func:`save_embedding`."""
-    with np.load(path, allow_pickle=True) as archive:
+    with np.load(path) as archive:
         version = int(archive["format_version"])
         if version != _FORMAT_VERSION:
             raise DatasetError(
@@ -243,7 +243,7 @@ def save_similarity_graph(graph: SimilarityGraph, path: str | Path) -> None:
     np.savez_compressed(
         Path(path),
         kind=np.array(graph.kind),
-        domains=np.array(graph.domains, dtype=object),
+        domains=np.array(graph.domains, dtype=np.str_),
         rows=graph.rows,
         cols=graph.cols,
         weights=graph.weights,
@@ -253,7 +253,7 @@ def save_similarity_graph(graph: SimilarityGraph, path: str | Path) -> None:
 
 def load_similarity_graph(path: str | Path) -> SimilarityGraph:
     """Read a graph written by :func:`save_similarity_graph`."""
-    with np.load(path, allow_pickle=True) as archive:
+    with np.load(path) as archive:
         version = int(archive["format_version"])
         if version != _FORMAT_VERSION:
             raise DatasetError(f"unsupported graph format version {version}")

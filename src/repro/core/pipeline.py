@@ -192,6 +192,55 @@ class MaliciousDomainDetector:
         return list(self._domain_order)
 
     # ------------------------------------------------------------------
+    # Checkpoint-resume entry points (repro.ingest.runner)
+    #
+    # Each adopt_* installs the output of one already-completed stage
+    # without recomputing it, so a resumed pipeline continues from its
+    # last checkpoint with exactly the state a cold run would have had.
+
+    def adopt_pruned_graphs(
+        self,
+        host_domain: BipartiteGraph,
+        domain_ip: BipartiteGraph,
+        domain_time: BipartiteGraph,
+        domain_order: Sequence[str],
+        report: PruningReport | None = None,
+    ) -> None:
+        """Install already-pruned graphs and their domain order.
+
+        Unlike :meth:`adopt_graphs` this does *not* re-run pruning —
+        pruning is not idempotent (host-count denominators change once
+        edges are dropped), so a checkpointed pipeline restores the
+        pruned graphs verbatim.
+        """
+        self.host_domain = host_domain
+        self.domain_ip = domain_ip
+        self.domain_time = domain_time
+        self.pruning_report = report
+        self._domain_order = list(domain_order)
+
+    def adopt_similarity_graphs(
+        self, graphs: dict[FeatureView, SimilarityGraph]
+    ) -> None:
+        """Install already-projected similarity graphs."""
+        self.similarity_graphs = dict(graphs)
+        if self._domain_order is None and graphs:
+            any_graph = next(iter(graphs.values()))
+            self._domain_order = list(any_graph.domains)
+
+    def adopt_feature_space(self, space: FeatureSpace) -> None:
+        """Install an already-trained feature space."""
+        self.feature_space = space
+        if self._domain_order is None:
+            self._domain_order = list(space.query.domains)
+
+    def adopt_classifier(
+        self, classifier: MaliciousDomainClassifier
+    ) -> None:
+        """Install an already-fitted classifier."""
+        self.classifier = classifier
+
+    # ------------------------------------------------------------------
     # Stage 3a: projections
 
     def build_similarity_graphs(self) -> dict[FeatureView, SimilarityGraph]:

@@ -173,11 +173,111 @@ class DnsTraceWriter:
         self.close()
 
 
+class TraceRecordIterator:
+    """Iterator over one pass of a trace, owning its file handle.
+
+    Usable as a context manager (the chunked-ingestion path holds one of
+    these across many batch yields and must be able to release the
+    underlying file deterministically — relying on garbage collection to
+    run a generator's ``finally`` leaks handles on abandonment):
+
+    * :meth:`close` (or ``with``-exit) closes the stream when this
+      iterator opened it; externally supplied streams are left alone;
+    * :meth:`skip_records` discards records by counting raw lines
+      without constructing :class:`DnsQuery`/:class:`DnsResponse`
+      objects — the cheap half of cursor-based resume.
+    """
+
+    def __init__(self, stream: TextIO, owns_stream: bool) -> None:
+        self._stream = stream
+        self._owns_stream = owns_stream
+        self._line_number = 0
+        self._closed = False
+        self.records_read = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (or the stream is gone)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the underlying stream (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceRecordIterator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __iter__(self) -> "TraceRecordIterator":
+        return self
+
+    def __next__(self) -> DnsQuery | DnsResponse:
+        if self._closed:
+            raise StopIteration
+        for raw in self._stream:
+            self._line_number += 1
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            kind = fields[0]
+            self.records_read += 1
+            try:
+                if kind == _QUERY_KIND:
+                    return parse_query(fields, self._line_number, line)
+                if kind == _RESPONSE_KIND:
+                    return parse_response(fields, self._line_number, line)
+                raise DnsLogFormatError(
+                    self._line_number, line, f"unknown record kind {kind!r}"
+                )
+            except DnsLogFormatError:
+                # Match the old generator semantics: a parse error ends
+                # the pass, releasing the handle before propagating.
+                self.close()
+                raise
+        self.close()
+        raise StopIteration
+
+    def skip_records(self, count: int) -> int:
+        """Discard up to ``count`` records without parsing them.
+
+        Comment and blank lines are passed over for free; record lines
+        are counted but never turned into objects. Returns how many
+        records were actually skipped (fewer than ``count`` only when
+        the trace is exhausted first).
+        """
+        skipped = 0
+        if count <= 0 or self._closed:
+            return 0
+        for raw in self._stream:
+            self._line_number += 1
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            self.records_read += 1
+            skipped += 1
+            if skipped >= count:
+                break
+        return skipped
+
+
 class DnsTraceReader:
     """Streaming reader yielding records in file order.
 
     Blank lines and ``#`` comment lines are skipped. Iterating the reader
-    yields :class:`DnsQuery` / :class:`DnsResponse` objects.
+    yields :class:`DnsQuery` / :class:`DnsResponse` objects. Each
+    iteration opens its own pass over the source; use :meth:`records`
+    when the pass should be context-managed (closes the file even when
+    iteration is abandoned early)::
+
+        with DnsTraceReader(path).records() as records:
+            first = next(records)
     """
 
     def __init__(self, source: str | Path | TextIO) -> None:
@@ -190,26 +290,13 @@ class DnsTraceReader:
             return self._source, False
         return self._source, False
 
-    def __iter__(self) -> Iterator[DnsQuery | DnsResponse]:
+    def records(self) -> TraceRecordIterator:
+        """One context-managed pass over the trace, in file order."""
         stream, owns = self._open()
-        try:
-            for line_number, raw in enumerate(stream, start=1):
-                line = raw.rstrip("\n")
-                if not line or line.startswith("#"):
-                    continue
-                fields = line.split("\t")
-                kind = fields[0]
-                if kind == _QUERY_KIND:
-                    yield parse_query(fields, line_number, line)
-                elif kind == _RESPONSE_KIND:
-                    yield parse_response(fields, line_number, line)
-                else:
-                    raise DnsLogFormatError(
-                        line_number, line, f"unknown record kind {kind!r}"
-                    )
-        finally:
-            if owns:
-                stream.close()
+        return TraceRecordIterator(stream, owns)
+
+    def __iter__(self) -> Iterator[DnsQuery | DnsResponse]:
+        return self.records()
 
     def queries(self) -> Iterator[DnsQuery]:
         """Yield only the query records."""

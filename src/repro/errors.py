@@ -52,3 +52,7 @@ class DatasetError(ReproError):
 
 class ArtifactIntegrityError(ReproError):
     """A persisted model artifact failed checksum or schema validation."""
+
+
+class IngestError(ReproError):
+    """Chunked ingestion could not proceed (bad bounds, stale cursor)."""

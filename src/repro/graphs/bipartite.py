@@ -474,6 +474,95 @@ def build_domain_ip_graph(
     return graph
 
 
+def fold_records_into_graphs(
+    records: Iterable[DnsQuery | DnsResponse],
+    host_graph: BipartiteGraph,
+    domain_ip: BipartiteGraph,
+    domain_time: BipartiteGraph,
+    identity: HostIdentityResolver | None = None,
+    window_seconds: float = DEFAULT_TIME_WINDOW_SECONDS,
+    psl: PublicSuffixList | None = None,
+) -> int:
+    """Fold one mixed record batch into three existing bipartite graphs.
+
+    The chunked-ingestion fast path: instead of materializing a whole
+    trace, callers hand bounded batches of interleaved queries and
+    responses and the edges land through the same vectorized
+    ``_intern_qnames`` / ``extend_raw`` route the monolithic builders
+    use. Deduplication is deferred — edges accumulate raw and the next
+    structural query (or an explicit ``compact()``) folds them, so a
+    million-record batch pays one bulk append per graph, not a hash
+    probe per record.
+
+    All three graphs must share one left (domain) :class:`VertexTable`,
+    mirroring how the pipeline threads a single domain interner through
+    all views. Returns the number of records consumed.
+    """
+    if window_seconds <= 0:
+        raise GraphConstructionError("window_seconds must be positive")
+    if (
+        host_graph.left is not domain_ip.left
+        or host_graph.left is not domain_time.left
+    ):
+        raise GraphConstructionError(
+            "fold_records_into_graphs needs graphs sharing one domain table"
+        )
+    if psl is None:
+        psl = default_psl()
+    domains = host_graph.left
+
+    query_qnames: list[str] = []
+    query_sources: list[str] = []
+    query_stamps: list[float] = []
+    answer_qnames: list[str] = []
+    answer_ips: list[str] = []
+    count = 0
+    for record in records:
+        count += 1
+        if isinstance(record, DnsQuery):
+            query_qnames.append(record.qname)
+            query_sources.append(record.source_ip)
+            query_stamps.append(record.timestamp)
+        elif isinstance(record, DnsResponse) and not record.nxdomain:
+            name = record.qname
+            for rr in record.answers:
+                if rr.rtype in _ADDRESS_RTYPES:
+                    answer_qnames.append(name)
+                    answer_ips.append(rr.value)
+
+    if query_qnames:
+        dids = _intern_qnames(query_qnames, psl, domains)
+        valid = dids >= 0
+        if identity is not None:
+            resolve = identity.resolve_or_ip
+            hosts: list[Hashable] = [
+                resolve(source, stamp)
+                for source, stamp in zip(query_sources, query_stamps)
+            ]
+        else:
+            hosts = list(query_sources)
+        hids = _intern_column(hosts, host_graph.right)
+        host_graph.edges.extend_raw(dids[valid], hids[valid])
+        stamps = np.asarray(query_stamps, dtype=np.float64)
+        windows = np.floor_divide(stamps, window_seconds).astype(np.int64)
+        intern_window = domain_time.right.intern
+        unique, inverse = np.unique(windows, return_inverse=True)
+        per_unique = np.fromiter(
+            (intern_window(int(w)) for w in unique),
+            dtype=np.int64,
+            count=unique.size,
+        )
+        wids = per_unique[inverse]
+        domain_time.edges.extend_raw(dids[valid], wids[valid])
+
+    if answer_qnames:
+        response_dids = _intern_qnames(answer_qnames, psl, domains)
+        iids = _intern_column(answer_ips, domain_ip.right)
+        valid = response_dids >= 0
+        domain_ip.edges.extend_raw(response_dids[valid], iids[valid])
+    return count
+
+
 def build_domain_time_graph(
     queries: Iterable[DnsQuery],
     window_seconds: float = DEFAULT_TIME_WINDOW_SECONDS,

@@ -202,6 +202,17 @@ def project_to_similarity(
         rows = np.concatenate(rows_out).astype(np.int64)
         cols = np.concatenate(cols_out).astype(np.int64)
         weights = np.concatenate(weights_out)
+        # Canonical (row, col) edge order. The sparse product enumerates
+        # columns in an order that depends on the incidence matrix's
+        # column permutation — i.e. on the right-hand vertex *intern*
+        # order, which differs between a monolithic build and a chunked
+        # one. Sorting here makes the projection a pure function of the
+        # graph's edge set, so everything downstream (LINE edge sampling,
+        # degree accumulation) is byte-identical across ingestion modes.
+        order_index = np.lexsort((cols, rows))
+        rows = rows[order_index]
+        cols = cols[order_index]
+        weights = weights[order_index]
     else:
         rows = np.empty(0, dtype=np.int64)
         cols = np.empty(0, dtype=np.int64)

@@ -1,0 +1,581 @@
+"""Checkpointed out-of-core pipeline runner.
+
+:class:`CheckpointedPipeline` drives the full detection pipeline over a
+chunked trace with a stage checkpoint after each expensive step::
+
+    ingest -> prune -> project -> embed -> classify -> cluster
+
+Each stage persists its output through
+:class:`~repro.ingest.checkpoint.PipelineCheckpointer`; a crashed or
+killed run restarts from its last complete checkpoint with
+**byte-identical** outputs to a cold run. Two properties make that
+guarantee hold:
+
+* graph accumulation is order-preserving and idempotent under
+  checkpoint/restore — the columnar edge buffers dedup to the same
+  first-occurrence order whether records arrived in one pass or across
+  a save/load boundary, and vertex interners persist their ids exactly;
+* every downstream stage is a pure function of its checkpointed inputs
+  (projection edge order is canonicalized, LINE is seeded, the SVM and
+  X-Means are deterministic), so recomputation from any prefix of
+  checkpoints reproduces the suffix bit-for-bit.
+
+The ingest stage additionally writes *rolling* partial checkpoints
+(every ``checkpoint_every_chunks`` chunks) carrying the reader's
+monotone record cursor, so even a crash mid-ingest loses at most a few
+chunks of work rather than the whole pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import resource
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Callable, Mapping
+
+import numpy as np
+
+from repro.core.clustering import DomainCluster
+from repro.core.features import FeatureView
+from repro.core.persistence import (
+    load_bipartite_graph,
+    load_classifier,
+    load_feature_space,
+    load_similarity_graph,
+    save_bipartite_graph,
+    save_classifier,
+    save_feature_space,
+    save_similarity_graph,
+)
+from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.dns.dhcp import DhcpLog, HostIdentityResolver
+from repro.errors import ArtifactIntegrityError, IngestError
+from repro.graphs.bipartite import BipartiteGraph, fold_records_into_graphs
+from repro.graphs.core import VertexTable
+from repro.graphs.pruning import PruningReport
+from repro.ingest.checkpoint import (
+    STAGE_CLASSIFY,
+    STAGE_CLUSTER,
+    STAGE_EMBED,
+    STAGE_INGEST,
+    STAGE_PROJECT,
+    STAGE_PRUNE,
+    PipelineCheckpointer,
+)
+from repro.ingest.chunking import ChunkedTraceReader, ChunkPolicy
+from repro.labels.dataset import LabeledDataset
+from repro.obs.logging import get_logger
+from repro.obs.metrics import default_registry
+
+__all__ = [
+    "IngestConfig",
+    "PipelineOutcome",
+    "CheckpointedPipeline",
+    "pipeline_fingerprint",
+]
+
+_log = get_logger(__name__)
+
+_VIEWS = (FeatureView.QUERY, FeatureView.IP, FeatureView.TEMPORAL)
+_GRAPH_FILES = ("host_domain.npz", "domain_ip.npz", "domain_time.npz")
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (ru_maxrss: KiB on Linux, bytes on mac)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1 << 20 if sys.platform == "darwin" else 1 << 10
+    return peak / divisor
+
+
+def pipeline_fingerprint(
+    config: PipelineConfig, sources: Mapping[str, object]
+) -> str:
+    """Hash binding checkpoints to one pipeline config + trace source.
+
+    Only result-affecting knobs participate: parallelism settings are
+    excluded (embeddings are byte-identical across backends), chunk
+    bounds are excluded (chunking never changes outputs). ``sources``
+    should identify the input trace (e.g. path and size), so a
+    checkpoint directory is never resumed against the wrong capture.
+    """
+    payload = {
+        "time_window_seconds": config.time_window_seconds,
+        "pruning": asdict(config.pruning),
+        "embedding": asdict(config.embedding),
+        "min_similarity": config.min_similarity,
+        "views": [view.value for view in config.views],
+        "sources": {str(k): str(v) for k, v in sorted(sources.items())},
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(slots=True)
+class IngestConfig:
+    """Chunked-ingestion knobs.
+
+    Attributes:
+        chunk: Per-chunk record/time bounds.
+        checkpoint_every_chunks: Rolling ingest-checkpoint cadence; 0
+            disables mid-ingest checkpoints (one is still written when
+            ingest completes, if a checkpointer is attached).
+    """
+
+    chunk: ChunkPolicy = field(default_factory=ChunkPolicy)
+    checkpoint_every_chunks: int = 8
+
+    def validate(self) -> None:
+        self.chunk.validate()
+        if self.checkpoint_every_chunks < 0:
+            raise IngestError(
+                "checkpoint_every_chunks must be non-negative, got "
+                f"{self.checkpoint_every_chunks}"
+            )
+
+
+@dataclass(slots=True)
+class PipelineOutcome:
+    """Everything a checkpointed run produced.
+
+    Attributes:
+        detector: The fully materialized detector (graphs through
+            classifier, depending on the stages that ran).
+        domains: Scored domains in canonical (sorted) order.
+        scores: ``decision_function`` value per domain (empty when no
+            labeled dataset was supplied).
+        verdicts: 1 = malicious, 0 = benign, per domain (empty without
+            a dataset).
+        clusters: X-Means clusters, when clustering was requested.
+        resumed_from: Name of the latest stage restored from a
+            checkpoint, or ``None`` for a cold run.
+        records_ingested: Total trace records consumed (including those
+            accounted by a restored ingest checkpoint).
+    """
+
+    detector: MaliciousDomainDetector
+    domains: list[str]
+    scores: np.ndarray
+    verdicts: np.ndarray
+    clusters: list[DomainCluster] | None = None
+    resumed_from: str | None = None
+    records_ingested: int = 0
+
+
+def _load_shared_graphs(
+    directory: Path,
+) -> tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph]:
+    """Load the three bipartite graphs, re-linking one shared left table.
+
+    The graphs were built over a single domain interner; persistence
+    writes each graph's (identical) copy of it, so the loader restores
+    one authoritative table and rebinds the other two graphs to it —
+    ``fold_records_into_graphs`` requires that identity on resume.
+    """
+    host, ip_graph, time_graph = (
+        load_bipartite_graph(directory / name) for name in _GRAPH_FILES
+    )
+    shared = host.left
+    for other in (ip_graph, time_graph):
+        if len(other.left) != len(shared):
+            raise ArtifactIntegrityError(
+                f"checkpointed graphs under {directory} disagree on the "
+                "shared domain table"
+            )
+    ip_graph = BipartiteGraph(
+        kind=ip_graph.kind,
+        left=shared,
+        right=ip_graph.right,
+        edges=ip_graph.edges,
+    )
+    time_graph = BipartiteGraph(
+        kind=time_graph.kind,
+        left=shared,
+        right=time_graph.right,
+        edges=time_graph.edges,
+    )
+    return host, ip_graph, time_graph
+
+
+class CheckpointedPipeline:
+    """Runs the detection pipeline chunked, checkpointed, and resumable.
+
+    Typical use::
+
+        ckpt = PipelineCheckpointer(dir, pipeline_fingerprint(config, src))
+        pipe = CheckpointedPipeline(config, checkpointer=ckpt, dhcp=dhcp)
+        outcome = pipe.run(trace_path, dataset_for, resume=True)
+
+    Without a checkpointer this is still the memory-bounded chunked
+    execution path (nothing is persisted); with one, every stage lands
+    a checkpoint and ``resume=True`` restarts after the last complete
+    stage.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        ingest: IngestConfig | None = None,
+        checkpointer: PipelineCheckpointer | None = None,
+        dhcp: DhcpLog | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.ingest = ingest or IngestConfig()
+        self.ingest.validate()
+        self.checkpointer = checkpointer
+        self._identity = (
+            HostIdentityResolver(dhcp) if dhcp is not None else None
+        )
+        self.resumed_from: str | None = None
+
+    # -- stage helpers ---------------------------------------------------
+
+    def _restorable(self, stage: str, resume: bool) -> bool:
+        return (
+            resume
+            and self.checkpointer is not None
+            and self.checkpointer.has(stage)
+        )
+
+    def _save_graphs(
+        self,
+        stage: str,
+        graphs: tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph],
+        meta: Mapping[str, object],
+        extra: Callable[[Path], None] | None = None,
+        *,
+        complete: bool = True,
+    ) -> None:
+        assert self.checkpointer is not None
+
+        def populate(staging: Path) -> None:
+            for graph, name in zip(graphs, _GRAPH_FILES):
+                save_bipartite_graph(graph, staging / name)
+            if extra is not None:
+                extra(staging)
+
+        self.checkpointer.save(stage, populate, meta, complete=complete)
+
+    def _run_ingest(
+        self, trace: str | Path | IO[str], resume: bool
+    ) -> tuple[tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph], int]:
+        """Chunked graph construction, with rolling checkpoints."""
+        ckpt = self.checkpointer
+        cursor = 0
+        if self._restorable(STAGE_INGEST, resume):
+            assert ckpt is not None
+            directory, manifest = ckpt.verify(STAGE_INGEST)
+            graphs = _load_shared_graphs(directory)
+            cursor = int(manifest.meta["cursor"])
+            self.resumed_from = STAGE_INGEST
+            _log.info(
+                "ingest_resumed", cursor=cursor, complete=manifest.complete
+            )
+            if manifest.complete:
+                return graphs, cursor
+        else:
+            domains = VertexTable()
+            graphs = (
+                BipartiteGraph(kind="host", left=domains),
+                BipartiteGraph(kind="ip", left=domains),
+                BipartiteGraph(kind="time", left=domains),
+            )
+        host, ip_graph, time_graph = graphs
+        every = self.ingest.checkpoint_every_chunks
+        chunks_since_save = 0
+        with ChunkedTraceReader(
+            trace, self.ingest.chunk, start_record=cursor
+        ) as reader:
+            for batch in reader:
+                fold_records_into_graphs(
+                    batch.records,
+                    host,
+                    ip_graph,
+                    time_graph,
+                    identity=self._identity,
+                    window_seconds=self.config.time_window_seconds,
+                )
+                chunks_since_save += 1
+                if ckpt is not None and every and chunks_since_save >= every:
+                    self._save_graphs(
+                        STAGE_INGEST,
+                        graphs,
+                        {"cursor": reader.cursor},
+                        complete=False,
+                    )
+                    chunks_since_save = 0
+            cursor = reader.cursor
+        for graph in graphs:
+            graph.edges.compact()
+        if ckpt is not None:
+            self._save_graphs(
+                STAGE_INGEST, graphs, {"cursor": cursor}, complete=True
+            )
+        return graphs, cursor
+
+    # -- the run ---------------------------------------------------------
+
+    def run(
+        self,
+        trace: str | Path | IO[str],
+        dataset_for: Callable[[list[str]], LabeledDataset] | None = None,
+        *,
+        resume: bool = False,
+        cluster_k_max: int | None = None,
+        cluster_seed: int = 0,
+    ) -> PipelineOutcome:
+        """Execute (or resume) the pipeline over ``trace``.
+
+        Args:
+            trace: ``dns.log`` path or text stream.
+            dataset_for: Maps the surviving domain list to a
+                :class:`LabeledDataset` for the classify stage; ``None``
+                skips classification (cluster-only runs).
+            resume: Restore every existing stage checkpoint and only
+                compute what follows. Requires a checkpointer; torn,
+                tampered, or configuration-mismatched checkpoints raise
+                :class:`~repro.errors.ArtifactIntegrityError`.
+            cluster_k_max: When set, run (and checkpoint) the X-Means
+                stage with this ``k_max``.
+            cluster_seed: Seed for the cluster stage.
+        """
+        ckpt = self.checkpointer
+        if resume and ckpt is None:
+            raise IngestError(
+                "resume requested without a checkpoint directory"
+            )
+        self.resumed_from = None
+        detector = MaliciousDomainDetector(self.config)
+        records_ingested = 0
+
+        # Stages ingest + prune. A complete prune checkpoint supersedes
+        # the (much larger) raw ingest graphs, which are never needed
+        # downstream — so resume skips loading them entirely.
+        if self._restorable(STAGE_PRUNE, resume):
+            assert ckpt is not None
+            directory, manifest = ckpt.verify(STAGE_PRUNE)
+            graphs = _load_shared_graphs(directory)
+            with np.load(directory / "domains.npz") as archive:
+                order = [str(d) for d in archive["surviving"]]
+                report = PruningReport(
+                    total_hosts=int(manifest.meta["total_hosts"]),
+                    domains_before=int(manifest.meta["domains_before"]),
+                    dropped_popular=[
+                        str(d) for d in archive["dropped_popular"]
+                    ],
+                    dropped_single_host=[
+                        str(d) for d in archive["dropped_single_host"]
+                    ],
+                    surviving_domains=set(order),
+                )
+            detector.adopt_pruned_graphs(*graphs, order, report)
+            records_ingested = int(manifest.meta.get("records_ingested", 0))
+            self.resumed_from = STAGE_PRUNE
+        else:
+            graphs, records_ingested = self._run_ingest(trace, resume)
+            report = detector.adopt_graphs(*graphs)
+            if ckpt is not None:
+                assert detector.host_domain is not None
+                assert detector.domain_ip is not None
+                assert detector.domain_time is not None
+
+                def save_report(staging: Path) -> None:
+                    np.savez_compressed(
+                        staging / "domains.npz",
+                        surviving=np.array(detector.domains, dtype=np.str_),
+                        dropped_popular=np.array(
+                            report.dropped_popular, dtype=np.str_
+                        ),
+                        dropped_single_host=np.array(
+                            report.dropped_single_host, dtype=np.str_
+                        ),
+                    )
+
+                self._save_graphs(
+                    STAGE_PRUNE,
+                    (
+                        detector.host_domain,
+                        detector.domain_ip,
+                        detector.domain_time,
+                    ),
+                    {
+                        "records_ingested": records_ingested,
+                        "total_hosts": report.total_hosts,
+                        "domains_before": report.domains_before,
+                    },
+                    save_report,
+                )
+                ckpt.invalidate_after(STAGE_PRUNE)
+
+        # Stage project.
+        if self._restorable(STAGE_PROJECT, resume):
+            assert ckpt is not None
+            directory, __ = ckpt.verify(STAGE_PROJECT)
+            detector.adopt_similarity_graphs(
+                {
+                    view: load_similarity_graph(
+                        directory / f"{view.value}.npz"
+                    )
+                    for view in _VIEWS
+                }
+            )
+            self.resumed_from = STAGE_PROJECT
+        else:
+            detector.build_similarity_graphs()
+            if ckpt is not None:
+
+                def save_projections(staging: Path) -> None:
+                    for view, graph in detector.similarity_graphs.items():
+                        save_similarity_graph(
+                            graph, staging / f"{view.value}.npz"
+                        )
+
+                ckpt.save(
+                    STAGE_PROJECT,
+                    save_projections,
+                    {"domains": len(detector.domains)},
+                )
+                ckpt.invalidate_after(STAGE_PROJECT)
+
+        # Stage embed.
+        if self._restorable(STAGE_EMBED, resume):
+            assert ckpt is not None
+            directory, __ = ckpt.verify(STAGE_EMBED)
+            detector.adopt_feature_space(load_feature_space(directory))
+            self.resumed_from = STAGE_EMBED
+        else:
+            detector.learn_embeddings()
+            if ckpt is not None:
+                space = detector.feature_space
+                assert space is not None
+                ckpt.save(
+                    STAGE_EMBED,
+                    lambda staging: save_feature_space(space, staging),
+                    {"dimension": space.query.vectors.shape[1]},
+                )
+                ckpt.invalidate_after(STAGE_EMBED)
+
+        # Stage classify (skipped entirely without a labeled dataset).
+        domains = detector.domains
+        scores = np.empty(0, dtype=np.float64)
+        verdicts = np.empty(0, dtype=np.int64)
+        if dataset_for is not None:
+            if self._restorable(STAGE_CLASSIFY, resume):
+                assert ckpt is not None
+                directory, __ = ckpt.verify(STAGE_CLASSIFY)
+                detector.adopt_classifier(
+                    load_classifier(directory / "classifier.npz")
+                )
+                with np.load(directory / "scores.npz") as archive:
+                    domains = [str(d) for d in archive["domains"]]
+                    scores = np.asarray(archive["scores"], dtype=np.float64)
+                    verdicts = np.asarray(
+                        archive["verdicts"], dtype=np.int64
+                    )
+                self.resumed_from = STAGE_CLASSIFY
+            else:
+                detector.fit(dataset_for(domains))
+                scores = detector.decision_scores(domains)
+                verdicts = detector.predict(domains)
+                if ckpt is not None:
+                    classifier = detector.classifier
+                    assert classifier is not None
+
+                    def save_classify(staging: Path) -> None:
+                        save_classifier(
+                            classifier, staging / "classifier.npz"
+                        )
+                        np.savez_compressed(
+                            staging / "scores.npz",
+                            domains=np.array(domains, dtype=np.str_),
+                            scores=scores,
+                            verdicts=verdicts,
+                        )
+
+                    ckpt.save(
+                        STAGE_CLASSIFY,
+                        save_classify,
+                        {"domains": len(domains)},
+                    )
+                    ckpt.invalidate_after(STAGE_CLASSIFY)
+
+        # Stage cluster (opt-in).
+        clusters: list[DomainCluster] | None = None
+        if cluster_k_max is not None:
+            if self._restorable(STAGE_CLUSTER, resume):
+                assert ckpt is not None
+                directory, __ = ckpt.verify(STAGE_CLUSTER)
+                with np.load(directory / "clusters.npz") as archive:
+                    labels = np.asarray(archive["labels"], dtype=np.int64)
+                    centers = np.asarray(
+                        archive["centers"], dtype=np.float64
+                    )
+                    cluster_ids = np.asarray(
+                        archive["cluster_ids"], dtype=np.int64
+                    )
+                clusters = [
+                    DomainCluster(
+                        cluster_id=int(cid),
+                        domains=[
+                            d
+                            for d, label in zip(domains, labels)
+                            if label == cid
+                        ],
+                        center=centers[position],
+                    )
+                    for position, cid in enumerate(cluster_ids)
+                ]
+                self.resumed_from = STAGE_CLUSTER
+            else:
+                clusters = detector.cluster(
+                    domains, k_max=cluster_k_max, seed=cluster_seed
+                )
+                if ckpt is not None:
+                    index_of = {d: i for i, d in enumerate(domains)}
+                    labels = np.full(len(domains), -1, dtype=np.int64)
+                    for cluster in clusters:
+                        for member in cluster.domains:
+                            labels[index_of[member]] = cluster.cluster_id
+                    centers = (
+                        np.stack([c.center for c in clusters])
+                        if clusters
+                        else np.empty((0, 0), dtype=np.float64)
+                    )
+                    cluster_ids = np.array(
+                        [c.cluster_id for c in clusters], dtype=np.int64
+                    )
+
+                    def save_clusters(staging: Path) -> None:
+                        np.savez_compressed(
+                            staging / "clusters.npz",
+                            labels=labels,
+                            centers=centers,
+                            cluster_ids=cluster_ids,
+                        )
+
+                    ckpt.save(
+                        STAGE_CLUSTER,
+                        save_clusters,
+                        {"clusters": len(clusters)},
+                    )
+
+        default_registry().gauge("ingest.peak_rss_mb").set(_peak_rss_mb())
+        _log.info(
+            "pipeline_done",
+            resumed_from=self.resumed_from,
+            records=records_ingested,
+            domains=len(domains),
+            clusters=None if clusters is None else len(clusters),
+        )
+        return PipelineOutcome(
+            detector=detector,
+            domains=list(domains),
+            scores=scores,
+            verdicts=verdicts,
+            clusters=clusters,
+            resumed_from=self.resumed_from,
+            records_ingested=records_ingested,
+        )

@@ -21,7 +21,8 @@ parallel runs, and the per-view entries still sit under the enclosing
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from types import TracebackType
+from typing import TYPE_CHECKING, Callable
 
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -29,6 +30,13 @@ from repro.obs.metrics import (
     default_registry,
 )
 from repro.obs.tracing import STAGE_METRIC_PREFIX
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.queues import Queue
+
+    from repro.obs.progress import ProgressCallback
+
+    ReportQueue = Queue[tuple[str, int, int, float]]
 
 __all__ = [
     "QueueProgress",
@@ -45,7 +53,7 @@ class QueueProgress:
 
     __slots__ = ("_queue", "_view")
 
-    def __init__(self, report_queue, view: str) -> None:
+    def __init__(self, report_queue: "ReportQueue", view: str) -> None:
         self._queue = report_queue
         self._view = view
 
@@ -62,7 +70,7 @@ class LockedProgress:
 
     __slots__ = ("_callback", "_lock")
 
-    def __init__(self, callback) -> None:
+    def __init__(self, callback: "ProgressCallback") -> None:
         self._callback = callback
         self._lock = threading.Lock()
 
@@ -86,8 +94,8 @@ class ProgressDrain:
 
     def __init__(
         self,
-        report_queue,
-        callback,
+        report_queue: "ReportQueue",
+        callback: "ProgressCallback | None",
         *,
         on_report: Callable[[str, int, int, float], None] | None = None,
     ) -> None:
@@ -118,7 +126,12 @@ class ProgressDrain:
         self._thread.start()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         try:
             self._queue.put(_SENTINEL)
         except Exception:  # pragma: no cover - queue torn down

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from types import TracebackType
 from typing import Iterator
 
 import numpy as np
@@ -80,7 +81,12 @@ class ArrayPack:
     def __enter__(self) -> "ArrayPack":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 
@@ -110,7 +116,12 @@ class _OpenedPack:
     def __enter__(self) -> dict[str, np.ndarray]:
         return self.arrays
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         # Drop our numpy views before closing the mapping; if the caller
         # still holds views (samplers built over the tables), the close
         # raises BufferError — leave the mapping to die with the worker

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -56,16 +56,20 @@ from repro.parallel.progress import (
 )
 from repro.parallel.shm import ArrayPack, ArrayPackSpec, open_pack
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.progress import ProgressCallback
+    from repro.parallel.progress import ReportQueue
+
 __all__ = ["train_views"]
 
 _log = get_logger(__name__)
 
 # Set by the pool initializer in process workers; holds the progress
 # report queue (None when the caller passed no progress callback).
-_WORKER_QUEUE = None
+_WORKER_QUEUE: "ReportQueue | None" = None
 
 
-def _init_worker(report_queue) -> None:
+def _init_worker(report_queue: "ReportQueue") -> None:
     """Pool initializer: stash the progress queue in the worker."""
     global _WORKER_QUEUE
     _WORKER_QUEUE = report_queue
@@ -75,7 +79,7 @@ def _run_embedding_task(
     task: EmbeddingTask,
     spec: ArrayPackSpec,
     node_count: int,
-    progress=None,
+    progress: "ProgressCallback | None" = None,
 ) -> tuple[int, np.ndarray, float]:
     """Worker entry: train one order, return (task_id, vectors, seconds).
 
@@ -142,7 +146,7 @@ def _view_arrays(
 def train_views(
     views: Sequence[tuple[str, SimilarityGraph, LineConfig]],
     parallel: ParallelConfig,
-    progress=None,
+    progress: "ProgressCallback | None" = None,
 ) -> dict[str, LineEmbedding]:
     """Train LINE over several views under one parallel policy.
 
@@ -190,7 +194,7 @@ def _train_views_pooled(
     tasks: list[EmbeddingTask],
     parallel: ParallelConfig,
     backend: str,
-    progress,
+    progress: "ProgressCallback | None",
 ) -> dict[str, LineEmbedding]:
     graphs = {key: graph for key, graph, __ in views}
     packs: dict[str, ArrayPack] = {}

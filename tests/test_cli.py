@@ -89,6 +89,77 @@ class TestCluster:
         assert "clustering" in output
 
 
+class TestChunkedIngestion:
+    @pytest.fixture()
+    def fresh_trace(self, trace_dir, tmp_path):
+        # Private copy of the simulated trace so scores.tsv from other
+        # tests (or other runs here) can't leak across assertions.
+        import shutil
+
+        copy = tmp_path / "trace"
+        copy.mkdir()
+        for name in ("dns.log", "dhcp.log", "groundtruth.tsv"):
+            shutil.copy(trace_dir / name, copy / name)
+        return copy
+
+    def test_parser_accepts_ingest_flags(self):
+        args = build_parser().parse_args(
+            ["detect", "t", "--chunk-records", "500",
+             "--chunk-seconds", "3600", "--checkpoint-dir", "ck", "--resume"]
+        )
+        assert args.chunk_records == 500
+        assert args.chunk_seconds == 3600.0
+        assert args.checkpoint_dir == "ck"
+        assert args.resume
+
+    @pytest.mark.parametrize("command", ["detect", "cluster"])
+    def test_resume_without_checkpoint_dir_exits_2(
+        self, command, fresh_trace, capsys
+    ):
+        assert main([command, str(fresh_trace), "--resume"]) == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_bad_chunk_records_exits_2(self, fresh_trace, capsys):
+        code = main(["detect", str(fresh_trace), "--chunk-records", "0"])
+        assert code == 2
+        assert "--chunk-records" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_chunked_scores_match_monolithic(self, fresh_trace, capsys):
+        assert main(["detect", str(fresh_trace), "--dimension", "8"]) == 0
+        monolithic = (fresh_trace / "scores.tsv").read_bytes()
+        (fresh_trace / "scores.tsv").unlink()
+        code = main(
+            ["detect", str(fresh_trace), "--dimension", "8",
+             "--chunk-records", "700"]
+        )
+        assert code == 0
+        assert (fresh_trace / "scores.tsv").read_bytes() == monolithic
+
+    @pytest.mark.slow
+    def test_detect_resume_reuses_checkpoints(
+        self, fresh_trace, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        base = ["detect", str(fresh_trace), "--dimension", "8",
+                "--chunk-records", "700", "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        capsys.readouterr()
+        first = (fresh_trace / "scores.tsv").read_bytes()
+        assert main(base + ["--resume"]) == 0
+        assert "resumed from checkpoint stage" in capsys.readouterr().err
+        assert (fresh_trace / "scores.tsv").read_bytes() == first
+
+    @pytest.mark.slow
+    def test_cluster_supports_chunked_path(self, fresh_trace, capsys):
+        code = main(
+            ["cluster", str(fresh_trace), "--dimension", "8",
+             "--chunk-records", "700"]
+        )
+        assert code == 0
+        assert "clusters" in capsys.readouterr().out
+
+
 class TestVersion:
     def test_version_flag_prints_package_version(self, capsys):
         import repro

@@ -85,6 +85,69 @@ class TestFormat:
             writer.write("not a record")  # type: ignore[arg-type]
 
 
+class TestRecordIterator:
+    def test_context_manager_closes_owned_file(self, sample_records, tmp_path):
+        path = tmp_path / "dns.log"
+        with DnsTraceWriter(path) as writer:
+            writer.write_all(sample_records)
+        with DnsTraceReader(path).records() as records:
+            first = next(records)
+            assert first == sample_records[0]
+            assert not records.closed
+        assert records.closed
+
+    def test_abandoned_pass_closes_on_exit(self, sample_records, tmp_path):
+        # The whole point of the context manager: abandoning iteration
+        # midway must still release the handle, not wait for GC.
+        path = tmp_path / "dns.log"
+        with DnsTraceWriter(path) as writer:
+            writer.write_all(sample_records * 100)
+        iterator = DnsTraceReader(path).records()
+        next(iterator)
+        iterator.close()
+        assert iterator.closed
+        iterator.close()  # idempotent
+        assert list(iterator) == []
+
+    def test_external_stream_left_open(self, sample_records):
+        buffer = io.StringIO()
+        DnsTraceWriter(buffer).write_all(sample_records)
+        buffer.seek(0)
+        with DnsTraceReader(buffer).records() as records:
+            list(records)
+        assert not buffer.closed
+
+    def test_parse_error_closes_handle(self, tmp_path):
+        path = tmp_path / "dns.log"
+        path.write_text("Q\tbroken\n")
+        iterator = DnsTraceReader(path).records()
+        with pytest.raises(DnsLogFormatError):
+            next(iterator)
+        assert iterator.closed
+
+    def test_skip_records_without_parsing(self, sample_records):
+        # A malformed line inside the skipped region must NOT raise —
+        # skipping counts lines, it never parses them.
+        text = (
+            "# header\n"
+            + format_query(sample_records[0])
+            + "\nQ\tbroken-but-skipped\n"
+            + format_query(sample_records[2])
+            + "\n"
+        )
+        with DnsTraceReader(io.StringIO(text)).records() as records:
+            assert records.skip_records(2) == 2
+            assert next(records) == sample_records[2]
+
+    def test_skip_records_reports_shortfall(self, sample_records):
+        buffer = io.StringIO()
+        DnsTraceWriter(buffer).write_all(sample_records)
+        buffer.seek(0)
+        with DnsTraceReader(buffer).records() as records:
+            assert records.skip_records(99) == len(sample_records)
+            assert list(records) == []
+
+
 class TestParseErrors:
     @pytest.mark.parametrize(
         "line",
