@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands mirror an operator's workflow:
+Six subcommands mirror an operator's workflow:
 
 * ``repro-dns simulate OUTDIR`` — generate a campus capture to disk;
 * ``repro-dns stats TRACEDIR`` — Figure-1 traffic statistics;
 * ``repro-dns detect TRACEDIR`` — run the full pipeline, print ranked
   domain scores (and write them to a TSV);
 * ``repro-dns cluster TRACEDIR`` — mine and annotate domain clusters;
+* ``repro-dns describe`` — print the stage graph, each stage's artifact
+  inputs/outputs, and (with ``--checkpoint-dir``) restorability;
 * ``repro-dns serve MODELDIR`` — online scoring over a published model.
 
 Serving: ``detect`` and ``cluster`` take ``--save-model DIR`` to publish
@@ -51,11 +53,13 @@ from repro import __version__
 from repro.analysis.reporting import format_series_table
 from repro.analysis.stats import compute_traffic_statistics
 from repro.core.clustering import DomainClusterer
+from repro.core.dataflow import detection_graph
 from repro.core.pipeline import (
-    STAGE_CLUSTERING,
+    STAGE_CLUSTER,
     MaliciousDomainDetector,
     PipelineConfig,
 )
+from repro.core.stages import span_name
 from repro.obs.tracing import trace
 from repro.dns.dhcp import DhcpLog
 from repro.dns.logfmt import DnsTraceReader
@@ -64,6 +68,7 @@ from repro.embedding.line import KERNELS, LineConfig
 from repro.ingest import (
     CheckpointedPipeline,
     ChunkPolicy,
+    ChunkedIngestStage,
     IngestConfig,
     PipelineCheckpointer,
     PipelineOutcome,
@@ -477,7 +482,7 @@ def cmd_cluster(args) -> int:
         return 2
     detector = _build_detector(args, queries, responses, dhcp)
     clusterer = DomainClusterer(k_min=4, k_max=args.k_max, seed=args.seed)
-    with trace(STAGE_CLUSTERING):
+    with trace(span_name(STAGE_CLUSTER)):
         clusters = clusterer.fit(
             detector.domains, detector.features_for(detector.domains)
         )
@@ -505,6 +510,58 @@ def cmd_cluster(args) -> int:
         detector.fit(build_labeled_dataset(feed, virustotal, detector.domains))
         _publish_model(detector, model_outdir)
     _emit_observability(args)
+    return 0
+
+
+def cmd_describe(args) -> int:
+    """Print the detection stage graph and checkpoint restorability."""
+    # A representative full graph: the chunked source plus every
+    # optional stage, so the whole dataflow is visible. Nothing runs —
+    # describe() is a static summary of the validated DAG.
+    graph = detection_graph(
+        PipelineConfig(),
+        source=ChunkedIngestStage("dns.log", ChunkPolicy()),
+        dataset_for=None,
+        score_all=True,
+        cluster_k_max=60,
+    )
+    checkpointer = (
+        PipelineCheckpointer(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else None
+    )
+    print("detection pipeline stages (execution order):")
+    for position, info in enumerate(graph.describe()):
+        print(f"\n  {position:02d} {info.name}  [span {span_name(info.name)}]")
+        print(f"     inputs:  {', '.join(info.inputs) or '(trace records)'}")
+        print(f"     outputs: {', '.join(info.outputs)}")
+        notes = []
+        if not info.checkpointed:
+            notes.append("not checkpointed")
+        if info.supersedes:
+            notes.append(f"supersedes {', '.join(info.supersedes)}")
+        if notes:
+            print(f"     notes:   {'; '.join(notes)}")
+        if checkpointer is None:
+            continue
+        manifest = checkpointer.peek(info.name)
+        if manifest is None:
+            status = "none"
+        elif manifest.complete:
+            status = "restorable (complete)"
+        else:
+            cursor = manifest.meta.get("cursor")
+            status = f"restorable (partial, cursor={cursor})"
+        print(f"     checkpoint: {status}")
+    if args.checkpoint_dir is not None and checkpointer is not None:
+        latest = None
+        for info in graph.describe():
+            if checkpointer.peek(info.name) is not None:
+                latest = info.name
+        print(
+            f"\ncheckpoints under {args.checkpoint_dir}: "
+            + (f"latest stage is '{latest}'" if latest else "none found")
+        )
     return 0
 
 
@@ -664,6 +721,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "in registry DIR (requires groundtruth.tsv)")
     _add_ingest_args(p_cluster)
     p_cluster.set_defaults(handler=cmd_cluster)
+
+    p_describe = sub.add_parser("describe", parents=[common],
+                                help="print the pipeline stage graph")
+    p_describe.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                            dest="checkpoint_dir",
+                            help="also report which stages are restorable "
+                            "from the checkpoints under DIR")
+    p_describe.set_defaults(handler=cmd_describe)
 
     p_serve = sub.add_parser("serve", parents=[common],
                              help="online scoring over a published model")

@@ -1,5 +1,12 @@
 """The paper's core contribution: behavioral modeling + graph embedding +
 SVM classification + cluster mining, wired end-to-end.
+
+Execution is organised as a typed stage graph (:mod:`repro.core.stages`)
+over the canonical detection dataflow (:mod:`repro.core.dataflow`); the
+batch facade (:class:`MaliciousDomainDetector`), the streaming layer
+(:class:`StreamingDetector`), and the checkpointed runner in
+:mod:`repro.ingest` all execute the same stage objects under different
+policies.
 """
 
 from repro.core.features import FeatureSpace, FeatureView
@@ -10,7 +17,24 @@ from repro.core.clustering import (
     DomainClusterer,
     expand_from_seeds,
 )
+from repro.core.dataflow import (
+    PIPELINE_STAGES,
+    detection_graph,
+    detection_stages,
+    pipeline_fingerprint,
+)
 from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.core.stages import (
+    ArtifactKey,
+    ArtifactStore,
+    BatchPolicy,
+    CheckpointPolicy,
+    ExecutionContext,
+    IncrementalPolicy,
+    RunReport,
+    Stage,
+    StageGraph,
+)
 from repro.core.streaming import IncrementalGraphBuilder, StreamingDetector
 from repro.core.persistence import (
     load_bipartite_graph,
@@ -28,14 +52,27 @@ from repro.core.persistence import (
 )
 
 __all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "BatchPolicy",
+    "CheckpointPolicy",
+    "ExecutionContext",
     "IncrementalGraphBuilder",
+    "IncrementalPolicy",
+    "PIPELINE_STAGES",
+    "RunReport",
+    "Stage",
+    "StageGraph",
     "StreamingDetector",
+    "detection_graph",
+    "detection_stages",
     "load_bipartite_graph",
     "load_classifier",
     "load_embedding",
     "load_feature_space",
     "load_scaler",
     "load_similarity_graph",
+    "pipeline_fingerprint",
     "save_bipartite_graph",
     "save_classifier",
     "save_embedding",

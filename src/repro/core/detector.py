@@ -4,6 +4,10 @@ A thin, paper-faithful wrapper around
 :class:`repro.ml.svm.SupportVectorClassifier`: RBF kernel, penalty
 C = 0.09, kernel coefficient gamma = 0.06, labels y=1 malicious / y=0
 benign, and a tunable decision threshold on d(x).
+
+In the stage graph this model is fitted by
+:class:`repro.core.dataflow.ClassifyStage` and stored under the
+``classifier.model`` artifact key.
 """
 
 from __future__ import annotations

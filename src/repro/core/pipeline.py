@@ -8,58 +8,82 @@ Five stages, matching the paper's system components:
 4. supervised detection — SVM on the concatenated 3k-dim vectors;
 5. unsupervised mining — X-Means clusters over the same vectors.
 
-:class:`MaliciousDomainDetector` exposes each stage separately (for
-experiments) and a convenience :meth:`process` that runs 1-3 in order.
+:class:`MaliciousDomainDetector` is a facade over the typed stage-graph
+engine (:mod:`repro.core.stages`): every method executes the shared
+stage objects from :mod:`repro.core.dataflow` under the batch policy,
+and all intermediate products live in one
+:class:`~repro.core.stages.ArtifactStore`. The streaming refresh and
+the checkpointed runner execute the *same* stage graph under their own
+policies, so the three paths cannot drift apart.
+
+The detector exposes each stage separately (for experiments) and a
+convenience :meth:`process` that runs stages 1-3 in order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.clustering import DomainCluster, DomainClusterer
+from repro.core.clustering import DomainCluster
+from repro.core.dataflow import (
+    CLASSIFIER,
+    CLUSTERS,
+    DOMAIN_ORDER,
+    FEATURE_SPACE,
+    PIPELINE_STAGES,
+    PRUNED_GRAPHS,
+    PRUNING_REPORT,
+    RAW_GRAPHS,
+    RECORDS_INGESTED,
+    SIMILARITY_GRAPHS,
+    STAGE_CLASSIFY,
+    STAGE_CLUSTER,
+    STAGE_EMBED,
+    STAGE_INGEST,
+    STAGE_PROJECT,
+    STAGE_PRUNE,
+    BatchGraphStage,
+    ClassifyStage,
+    ClusterStage,
+    detection_graph,
+    line_config_for,
+)
 from repro.core.detector import MaliciousDomainClassifier
 from repro.core.features import FeatureSpace, FeatureView
-from repro.dns.dhcp import DhcpLog, HostIdentityResolver
-from repro.dns.types import DnsQuery, DnsResponse
-from repro.embedding.line import LineConfig, LineEmbedding
-from repro.errors import GraphConstructionError, NotFittedError
-from repro.graphs.bipartite import (
-    BipartiteGraph,
-    build_domain_ip_graph,
-    build_query_graphs,
+from repro.core.stages import (
+    ArtifactStore,
+    BatchPolicy,
+    ExecutionContext,
+    StageGraph,
 )
-from repro.graphs.core import VertexTable
-from repro.graphs.projection import SimilarityGraph, project_to_similarity
-from repro.graphs.pruning import PruningReport, PruningRules, prune_graphs
+from repro.dns.dhcp import DhcpLog
+from repro.dns.types import DnsQuery, DnsResponse
+from repro.embedding.line import LineConfig
+from repro.errors import GraphConstructionError, NotFittedError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.projection import SimilarityGraph
+from repro.graphs.pruning import PruningReport, PruningRules
 from repro.labels.dataset import LabeledDataset
 from repro.obs.logging import get_logger
 from repro.obs.progress import ProgressCallback
-from repro.obs.tracing import trace
 from repro.parallel.executor import ParallelConfig
-from repro.parallel.train import train_views
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "STAGE_CLASSIFY",
+    "STAGE_CLUSTER",
+    "STAGE_EMBED",
+    "STAGE_INGEST",
+    "STAGE_PROJECT",
+    "STAGE_PRUNE",
+    "MaliciousDomainDetector",
+    "PipelineConfig",
+]
 
 _log = get_logger(__name__)
-
-# Canonical stage names used for tracing spans and metric keys
-# (stage.<name>.seconds / stage.<name>.calls in the registry).
-STAGE_GRAPH_BUILD = "graph_build"
-STAGE_PRUNING = "pruning"
-STAGE_PROJECTION = "projection"
-STAGE_EMBEDDING = "embedding"
-STAGE_SVM_FIT = "svm_fit"
-STAGE_CLUSTERING = "clustering"
-
-#: The five stages a ``detect`` run exercises, in execution order.
-DETECTION_STAGES: tuple[str, ...] = (
-    STAGE_GRAPH_BUILD,
-    STAGE_PRUNING,
-    STAGE_PROJECTION,
-    STAGE_EMBEDDING,
-    STAGE_SVM_FIT,
-)
 
 
 @dataclass(slots=True)
@@ -106,18 +130,97 @@ class MaliciousDomainDetector:
         detector.process(queries, responses, dhcp)
         detector.fit(labeled_dataset)
         scores = detector.decision_scores(unknown_domains)
+
+    Every stage method executes the shared stage graph under the batch
+    policy; the intermediate products (pruned graphs, projections,
+    feature space, classifier) live in :attr:`artifacts` and are also
+    readable through the familiar properties (:attr:`host_domain`,
+    :attr:`feature_space`, ...).
     """
 
-    def __init__(self, config: PipelineConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        *,
+        store: ArtifactStore | None = None,
+    ) -> None:
         self.config = config or PipelineConfig()
-        self.host_domain: BipartiteGraph | None = None
-        self.domain_ip: BipartiteGraph | None = None
-        self.domain_time: BipartiteGraph | None = None
-        self.pruning_report: PruningReport | None = None
-        self.similarity_graphs: dict[FeatureView, SimilarityGraph] = {}
-        self.feature_space: FeatureSpace | None = None
-        self.classifier: MaliciousDomainClassifier | None = None
-        self._domain_order: list[str] | None = None
+        self._store = store if store is not None else ArtifactStore()
+
+    @classmethod
+    def from_store(
+        cls, config: PipelineConfig, store: ArtifactStore
+    ) -> "MaliciousDomainDetector":
+        """Wrap an already-populated artifact store (runner/streaming)."""
+        return cls(config, store=store)
+
+    # ------------------------------------------------------------------
+    # Artifact views
+
+    @property
+    def artifacts(self) -> ArtifactStore:
+        """The artifact store every stage reads from and writes to."""
+        return self._store
+
+    @property
+    def host_domain(self) -> BipartiteGraph | None:
+        """Pruned host-domain bipartite graph (HDBG), if built."""
+        graphs = self._store.maybe(PRUNED_GRAPHS)
+        return None if graphs is None else graphs[0]
+
+    @property
+    def domain_ip(self) -> BipartiteGraph | None:
+        """Pruned domain-IP bipartite graph (DIBG), if built."""
+        graphs = self._store.maybe(PRUNED_GRAPHS)
+        return None if graphs is None else graphs[1]
+
+    @property
+    def domain_time(self) -> BipartiteGraph | None:
+        """Pruned domain-time bipartite graph (DTBG), if built."""
+        graphs = self._store.maybe(PRUNED_GRAPHS)
+        return None if graphs is None else graphs[2]
+
+    @property
+    def pruning_report(self) -> PruningReport | None:
+        return self._store.maybe(PRUNING_REPORT)
+
+    @property
+    def similarity_graphs(self) -> dict[FeatureView, SimilarityGraph]:
+        return self._store.maybe(SIMILARITY_GRAPHS) or {}
+
+    @property
+    def feature_space(self) -> FeatureSpace | None:
+        return self._store.maybe(FEATURE_SPACE)
+
+    @property
+    def classifier(self) -> MaliciousDomainClassifier | None:
+        return self._store.maybe(CLASSIFIER)
+
+    @property
+    def domains(self) -> list[str]:
+        """Domains that survived pruning (the embedding vertex set)."""
+        order = self._store.maybe(DOMAIN_ORDER)
+        if order is None:
+            raise NotFittedError("MaliciousDomainDetector.build_graphs")
+        return list(order)
+
+    # ------------------------------------------------------------------
+    # Stage execution
+
+    def _execute(
+        self,
+        only: set[str],
+        *,
+        source: BatchGraphStage | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        """Run the named stages of the shared graph over the store."""
+        graph = detection_graph(self.config, source=source)
+        graph.execute(
+            self._store,
+            BatchPolicy(only=only),
+            ExecutionContext(progress=progress),
+        )
 
     # ------------------------------------------------------------------
     # Stages 1-2: graphs
@@ -129,37 +232,21 @@ class MaliciousDomainDetector:
         dhcp: DhcpLog | None = None,
     ) -> PruningReport:
         """Build and prune the three bipartite graphs."""
-        with trace(STAGE_GRAPH_BUILD):
-            identity = HostIdentityResolver(dhcp) if dhcp is not None else None
-            queries = list(queries)
-            # One shared domain interner across all three views: ids (and
-            # therefore every downstream ordering) agree without
-            # re-sorting, and HDBG + DTBG come from a single pass.
-            domains = VertexTable()
-            host_domain, domain_time = build_query_graphs(
-                queries,
-                identity,
-                window_seconds=self.config.time_window_seconds,
-                domains=domains,
-            )
-            domain_ip = build_domain_ip_graph(responses, domains=domains)
-        with trace(STAGE_PRUNING):
-            (
-                self.host_domain,
-                self.domain_ip,
-                self.domain_time,
-                self.pruning_report,
-            ) = prune_graphs(
-                host_domain, domain_ip, domain_time, self.config.pruning
-            )
-        self._domain_order = sorted(self.pruning_report.surviving_domains)
+        source = BatchGraphStage(
+            queries,
+            responses,
+            dhcp,
+            window_seconds=self.config.time_window_seconds,
+        )
+        self._execute({STAGE_INGEST, STAGE_PRUNE}, source=source)
+        report = self._store.get(PRUNING_REPORT)
         _log.info(
             "graphs_built",
-            queries=len(queries),
-            domains_before=self.pruning_report.domains_before,
-            domains_after=self.pruning_report.domains_after,
+            queries=self._store.get(RECORDS_INGESTED),
+            domains_before=report.domains_before,
+            domains_after=report.domains_after,
         )
-        return self.pruning_report
+        return report
 
     def adopt_graphs(
         self,
@@ -172,24 +259,9 @@ class MaliciousDomainDetector:
         The streaming mode maintains graphs incrementally and hands them
         to a fresh detector at each refresh; this is its entry point.
         """
-        with trace(STAGE_PRUNING):
-            (
-                self.host_domain,
-                self.domain_ip,
-                self.domain_time,
-                self.pruning_report,
-            ) = prune_graphs(
-                host_domain, domain_ip, domain_time, self.config.pruning
-            )
-        self._domain_order = sorted(self.pruning_report.surviving_domains)
-        return self.pruning_report
-
-    @property
-    def domains(self) -> list[str]:
-        """Domains that survived pruning (the embedding vertex set)."""
-        if self._domain_order is None:
-            raise NotFittedError("MaliciousDomainDetector.build_graphs")
-        return list(self._domain_order)
+        self._store.put(RAW_GRAPHS, (host_domain, domain_ip, domain_time))
+        self._execute({STAGE_PRUNE})
+        return self._store.get(PRUNING_REPORT)
 
     # ------------------------------------------------------------------
     # Checkpoint-resume entry points (repro.ingest.runner)
@@ -213,75 +285,53 @@ class MaliciousDomainDetector:
         edges are dropped), so a checkpointed pipeline restores the
         pruned graphs verbatim.
         """
-        self.host_domain = host_domain
-        self.domain_ip = domain_ip
-        self.domain_time = domain_time
-        self.pruning_report = report
-        self._domain_order = list(domain_order)
+        self._store.put(
+            PRUNED_GRAPHS, (host_domain, domain_ip, domain_time)
+        )
+        self._store.put(DOMAIN_ORDER, list(domain_order))
+        if report is None:
+            self._store.discard(PRUNING_REPORT)
+        else:
+            self._store.put(PRUNING_REPORT, report)
 
     def adopt_similarity_graphs(
         self, graphs: dict[FeatureView, SimilarityGraph]
     ) -> None:
         """Install already-projected similarity graphs."""
-        self.similarity_graphs = dict(graphs)
-        if self._domain_order is None and graphs:
+        self._store.put(SIMILARITY_GRAPHS, dict(graphs))
+        if not self._store.has(DOMAIN_ORDER) and graphs:
             any_graph = next(iter(graphs.values()))
-            self._domain_order = list(any_graph.domains)
+            self._store.put(DOMAIN_ORDER, list(any_graph.domains))
 
     def adopt_feature_space(self, space: FeatureSpace) -> None:
         """Install an already-trained feature space."""
-        self.feature_space = space
-        if self._domain_order is None:
-            self._domain_order = list(space.query.domains)
+        self._store.put(FEATURE_SPACE, space)
+        if not self._store.has(DOMAIN_ORDER):
+            self._store.put(DOMAIN_ORDER, list(space.query.domains))
 
     def adopt_classifier(
         self, classifier: MaliciousDomainClassifier
     ) -> None:
         """Install an already-fitted classifier."""
-        self.classifier = classifier
+        self._store.put(CLASSIFIER, classifier)
 
     # ------------------------------------------------------------------
     # Stage 3a: projections
 
     def build_similarity_graphs(self) -> dict[FeatureView, SimilarityGraph]:
         """Project the three bipartite graphs onto the domain set."""
-        if (
-            self.host_domain is None
-            or self.domain_ip is None
-            or self.domain_time is None
-            or self._domain_order is None
+        if not (
+            self._store.has(PRUNED_GRAPHS) and self._store.has(DOMAIN_ORDER)
         ):
             raise GraphConstructionError("call build_graphs() first")
-        order = self._domain_order
-        threshold = self.config.min_similarity
-        with trace(STAGE_PROJECTION):
-            self.similarity_graphs = {
-                FeatureView.QUERY: project_to_similarity(
-                    self.host_domain, order, threshold
-                ),
-                FeatureView.IP: project_to_similarity(
-                    self.domain_ip, order, threshold
-                ),
-                FeatureView.TEMPORAL: project_to_similarity(
-                    self.domain_time, order, threshold
-                ),
-            }
-        _log.debug(
-            "projections_built",
-            domains=len(order),
-            edges=sum(g.edge_count for g in self.similarity_graphs.values()),
-        )
+        self._execute({STAGE_PROJECT})
         return self.similarity_graphs
 
     # ------------------------------------------------------------------
     # Stage 3b: embeddings
 
     def _line_config_for(self, view: FeatureView) -> LineConfig:
-        # Derived, not shared: each view trains from its own seed offset
-        # so the three views are independent tasks (serial or parallel).
-        base = self.config.embedding
-        offsets = {FeatureView.QUERY: 0, FeatureView.IP: 1, FeatureView.TEMPORAL: 2}
-        return replace(base, seed=base.seed + offsets[view])
+        return line_config_for(self.config.embedding, view)
 
     def learn_embeddings(
         self, progress: "ProgressCallback | None" = None
@@ -300,24 +350,8 @@ class MaliciousDomainDetector:
         """
         if not self.similarity_graphs:
             self.build_similarity_graphs()
-        with trace(STAGE_EMBEDDING):
-            trained = train_views(
-                [
-                    (view.value, graph, self._line_config_for(view))
-                    for view, graph in self.similarity_graphs.items()
-                ],
-                self.config.parallel,
-                progress=progress,
-            )
-        embeddings: dict[FeatureView, LineEmbedding] = {
-            view: trained[view.value] for view in self.similarity_graphs
-        }
-        self.feature_space = FeatureSpace(
-            query=embeddings[FeatureView.QUERY],
-            ip=embeddings[FeatureView.IP],
-            temporal=embeddings[FeatureView.TEMPORAL],
-        )
-        return self.feature_space
+        self._execute({STAGE_EMBED}, progress=progress)
+        return self._store.get(FEATURE_SPACE)
 
     def process(
         self,
@@ -339,35 +373,35 @@ class MaliciousDomainDetector:
         views: Sequence[FeatureView] | None = None,
     ) -> np.ndarray:
         """Feature matrix for ``domains`` (full 3k by default)."""
-        if self.feature_space is None:
+        space = self.feature_space
+        if space is None:
             raise NotFittedError("MaliciousDomainDetector.learn_embeddings")
-        return self.feature_space.matrix(domains, views or self.config.views)
+        return space.matrix(domains, views or self.config.views)
 
     def fit(self, dataset: LabeledDataset) -> "MaliciousDomainDetector":
         """Train the SVM on a labeled dataset."""
-        features = self.features_for(dataset.domains)
-        with trace(STAGE_SVM_FIT):
-            self.classifier = MaliciousDomainClassifier().fit(
-                features, dataset.labels
-            )
-        _log.info(
-            "classifier_fitted",
-            samples=len(dataset.domains),
-            support_vectors=self.classifier.support_vector_count,
+        if self.feature_space is None:
+            raise NotFittedError("MaliciousDomainDetector.learn_embeddings")
+        stage = ClassifyStage(
+            self.config.views, lambda _order: dataset, score_all=False
         )
+        graph = StageGraph([stage], initial=stage.inputs)
+        graph.execute(self._store, BatchPolicy())
         return self
 
     def decision_scores(self, domains: Sequence[str]) -> np.ndarray:
         """d(x) for each domain — positive means malicious side."""
-        if self.classifier is None:
+        classifier = self.classifier
+        if classifier is None:
             raise NotFittedError("MaliciousDomainDetector.fit")
-        return self.classifier.decision_function(self.features_for(domains))
+        return classifier.decision_function(self.features_for(domains))
 
     def predict(self, domains: Sequence[str]) -> np.ndarray:
         """1 = malicious, 0 = benign, at the classifier's threshold."""
-        if self.classifier is None:
+        classifier = self.classifier
+        if classifier is None:
             raise NotFittedError("MaliciousDomainDetector.fit")
-        return self.classifier.predict(self.features_for(domains))
+        return classifier.predict(self.features_for(domains))
 
     # ------------------------------------------------------------------
     # Stage 5: unsupervised mining
@@ -381,9 +415,11 @@ class MaliciousDomainDetector:
         """X-Means clusters over the (given or all) domains' features."""
         if domains is None:
             domains = self.domains
-        clusterer = DomainClusterer(k_max=k_max, seed=seed)
-        features = self.features_for(domains)
-        with trace(STAGE_CLUSTERING):
-            clusters = clusterer.fit(list(domains), features)
-        _log.info("clusters_mined", domains=len(domains), clusters=len(clusters))
-        return clusters
+        if self.feature_space is None:
+            raise NotFittedError("MaliciousDomainDetector.learn_embeddings")
+        stage = ClusterStage(
+            self.config.views, k_max=k_max, seed=seed, domains=domains
+        )
+        graph = StageGraph([stage], initial=stage.inputs)
+        graph.execute(self._store, BatchPolicy())
+        return self._store.get(CLUSTERS)

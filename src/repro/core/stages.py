@@ -1,0 +1,545 @@
+"""Typed stage-graph engine: one substrate for all execution modes.
+
+The paper's system is a single fixed dataflow (graphs -> pruning ->
+projection -> embedding -> classification -> clustering), but the repo
+grew three hand-rolled copies of it: the batch detector, the streaming
+refresh, and the checkpointed out-of-core runner. This module is the
+substrate they all run on now:
+
+* an :class:`ArtifactKey` names one typed intermediate product (a graph
+  triple, a feature space, a score vector);
+* an :class:`ArtifactStore` holds the products of a run, keyed by name —
+  the in-memory twin of a checkpoint directory;
+* a :class:`Stage` declares which artifacts it consumes and produces,
+  computes in :meth:`Stage.run`, and (optionally) knows how to persist
+  and restore its outputs as a stage checkpoint;
+* a :class:`StageGraph` validates the DAG statically — every input must
+  be produced by an earlier stage or declared initial — and executes it
+  under a pluggable policy.
+
+Three policies cover the repo's execution modes:
+
+* :class:`BatchPolicy` — run every (selected) stage in memory, in order;
+* :class:`IncrementalPolicy` — fold semantics: skip stages whose outputs
+  are already in the store, recompute the rest (streaming refresh);
+* :class:`CheckpointPolicy` — restore each stage from its checkpoint
+  when possible, otherwise run it and save one; a complete checkpoint of
+  a superseding stage (pruned graphs supersede raw ones) skips earlier
+  stages entirely.
+
+Every stage executes under one canonical tracing span,
+``pipeline.<stage>`` (see :func:`span_name`), so the metrics registry
+reports ``stage.pipeline.<stage>.seconds`` identically from the batch,
+streaming, and checkpointed paths. The engine knows checkpointing only
+through the :class:`CheckpointBackend` protocol, so ``repro.core`` never
+imports ``repro.ingest``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Collection,
+    Generic,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+    TypeVar,
+)
+
+from repro.errors import StageGraphError
+from repro.obs.logging import get_logger
+from repro.obs.progress import ProgressCallback
+from repro.obs.tracing import trace
+
+__all__ = [
+    "PIPELINE_SPAN_PREFIX",
+    "ArtifactKey",
+    "ArtifactStore",
+    "BatchPolicy",
+    "CheckpointBackend",
+    "CheckpointManifest",
+    "CheckpointPolicy",
+    "ExecutionContext",
+    "ExecutionPolicy",
+    "IncrementalPolicy",
+    "RunReport",
+    "Stage",
+    "StageGraph",
+    "StageInfo",
+    "span_name",
+]
+
+_log = get_logger(__name__)
+
+#: Prefix of the canonical per-stage tracing span. A stage named
+#: ``"embed"`` runs under the span ``pipeline.embed`` and therefore
+#: reports ``stage.pipeline.embed.seconds`` / ``.calls`` in the metrics
+#: registry — identically from every execution path.
+PIPELINE_SPAN_PREFIX = "pipeline."
+
+T = TypeVar("T")
+I = TypeVar("I")
+O = TypeVar("O")
+
+
+def span_name(stage: str) -> str:
+    """Canonical tracing-span name for one pipeline stage."""
+    return PIPELINE_SPAN_PREFIX + stage
+
+
+class ArtifactKey(Generic[T]):
+    """Typed name of one intermediate product in an :class:`ArtifactStore`.
+
+    The type parameter documents (and, under mypy, enforces) what a
+    stage reads and writes: ``store.get(FEATURE_SPACE)`` is a
+    :class:`~repro.core.features.FeatureSpace`, not ``Any``. Keys
+    compare by name, so re-declaring a key is harmless.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"ArtifactKey({self.name!r})"
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ArtifactKey) and other.name == self.name
+
+
+class ArtifactStore:
+    """The typed artifacts of one pipeline run, keyed by name.
+
+    This is the in-memory twin of a checkpoint directory: every stage
+    reads its declared inputs from here and writes its outputs back,
+    and the checkpoint policy moves the same payloads to and from disk.
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: dict[str, object] = {}
+
+    def put(self, key: ArtifactKey[T], value: T) -> T:
+        """Store ``value`` under ``key``; returns ``value``."""
+        self._artifacts[key.name] = value
+        return value
+
+    def get(self, key: ArtifactKey[T]) -> T:
+        """The artifact under ``key``; raises if it was never produced."""
+        try:
+            return self._artifacts[key.name]  # type: ignore[return-value]
+        except KeyError:
+            raise StageGraphError(
+                f"artifact {key.name!r} has not been produced yet"
+            ) from None
+
+    def maybe(self, key: ArtifactKey[T]) -> T | None:
+        """The artifact under ``key``, or ``None`` when absent."""
+        return self._artifacts.get(key.name)  # type: ignore[return-value]
+
+    def has(self, key: ArtifactKey[T]) -> bool:
+        return key.name in self._artifacts
+
+    def discard(self, key: ArtifactKey[T]) -> None:
+        """Drop the artifact under ``key`` if present."""
+        self._artifacts.pop(key.name, None)
+
+    def names(self) -> tuple[str, ...]:
+        """Names of every artifact currently in the store."""
+        return tuple(self._artifacts)
+
+    def __contains__(self, key: ArtifactKey[Any]) -> bool:
+        return self.has(key)
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+
+class CheckpointManifest(Protocol):
+    """What the engine needs of a stage-checkpoint manifest."""
+
+    complete: bool
+    meta: dict
+
+
+class CheckpointBackend(Protocol):
+    """Structural view of :class:`repro.ingest.PipelineCheckpointer`.
+
+    The engine talks to checkpointing exclusively through this protocol
+    so that ``repro.core`` never imports ``repro.ingest`` (the import
+    runs the other way).
+    """
+
+    def has(self, stage: str) -> bool: ...
+
+    def verify(self, stage: str) -> tuple[Path, Any]: ...
+
+    def save(
+        self,
+        stage: str,
+        populate: Callable[[Path], None],
+        meta: Mapping[str, object] | None = None,
+        *,
+        complete: bool = True,
+    ) -> Path: ...
+
+    def invalidate_after(self, stage: str) -> None: ...
+
+
+@dataclass(slots=True)
+class ExecutionContext:
+    """Per-run context threaded through every stage.
+
+    Attributes:
+        checkpointer: Stage-checkpoint backend, when the run persists
+            (or restores) checkpoints; ``None`` for purely in-memory
+            runs.
+        resume: Whether existing checkpoints may be restored.
+        progress: Optional progress callback forwarded to long-running
+            stages (the embedding stage reports through it).
+    """
+
+    checkpointer: CheckpointBackend | None = None
+    resume: bool = False
+    progress: ProgressCallback | None = None
+
+
+class Stage(Generic[I, O], abc.ABC):
+    """One pipeline stage: declared inputs/outputs plus a compute step.
+
+    The type parameters document the stage's primary input and output
+    payloads (e.g. ``Stage[GraphTriple, GraphTriple]`` for pruning); the
+    authoritative dataflow contract is the ``inputs`` / ``outputs`` key
+    tuples, which :class:`StageGraph` validates statically.
+
+    Attributes:
+        name: Canonical stage name; also its checkpoint-directory name
+            and tracing-span suffix.
+        inputs: Artifact keys the stage reads from the store.
+        outputs: Artifact keys the stage writes to the store.
+        checkpointed: Whether :class:`CheckpointPolicy` persists this
+            stage's outputs (in-memory source stages opt out).
+        traced: Whether execution wraps :meth:`run` in the canonical
+            ``pipeline.<stage>`` span. Delegating wrapper stages (whose
+            ``run`` re-enters the engine for the same stage) opt out so
+            the span is observed exactly once per execution.
+        supersedes: Names of earlier stages whose outputs become
+            unnecessary once this stage has a checkpoint on disk — a
+            complete pruned-graph checkpoint makes loading the much
+            larger raw graphs pointless.
+    """
+
+    name: str = ""
+    inputs: tuple[ArtifactKey[Any], ...] = ()
+    outputs: tuple[ArtifactKey[Any], ...] = ()
+    checkpointed: bool = True
+    traced: bool = True
+    supersedes: tuple[str, ...] = ()
+
+    def active(self, store: ArtifactStore) -> bool:
+        """Whether the stage participates in this run (default: yes)."""
+        return True
+
+    @abc.abstractmethod
+    def run(self, store: ArtifactStore, ctx: ExecutionContext) -> None:
+        """Compute the stage's outputs from its inputs in ``store``."""
+
+    def save_artifacts(
+        self, staging: Path, store: ArtifactStore
+    ) -> dict[str, object]:
+        """Write this stage's outputs into ``staging``; returns manifest meta.
+
+        Called by :class:`CheckpointPolicy` inside the checkpointer's
+        atomic staging directory. The returned mapping becomes the
+        checkpoint manifest's ``meta`` payload.
+        """
+        raise NotImplementedError(
+            f"stage {self.name!r} does not persist artifacts"
+        )
+
+    def load_artifacts(
+        self,
+        directory: Path,
+        manifest: CheckpointManifest,
+        store: ArtifactStore,
+    ) -> None:
+        """Restore this stage's outputs into ``store`` from ``directory``."""
+        raise NotImplementedError(
+            f"stage {self.name!r} does not restore artifacts"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass(frozen=True)
+class StageInfo:
+    """Describe-friendly summary of one stage (see ``repro-dns describe``)."""
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    checkpointed: bool
+    supersedes: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class RunReport:
+    """What one :meth:`StageGraph.execute` call did, stage by stage.
+
+    Attributes:
+        executed: Stages that ran their compute step, in order.
+        restored: Stages restored from a checkpoint (a partially
+            restored stage appears in both lists).
+        skipped: Stages skipped (inactive, deselected, superseded, or
+            already satisfied).
+        resumed_from: The most advanced stage restored from a
+            checkpoint, or ``None`` for a cold run.
+    """
+
+    executed: list[str] = field(default_factory=list)
+    restored: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    resumed_from: str | None = None
+
+
+class ExecutionPolicy(Protocol):
+    """How a validated stage graph gets executed."""
+
+    def execute(
+        self, graph: "StageGraph", store: ArtifactStore, ctx: ExecutionContext
+    ) -> RunReport: ...
+
+
+class StageGraph:
+    """A validated, ordered DAG of stages over one artifact namespace.
+
+    Stages are given in execution order; construction checks that every
+    declared input is produced by an earlier stage or listed in
+    ``initial`` (artifacts seeded into the store before execution), that
+    stage names are unique, and that no artifact has two producers.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage[Any, Any]],
+        initial: Iterable[ArtifactKey[Any]] = (),
+    ) -> None:
+        available = {key.name for key in initial}
+        produced: set[str] = set()
+        names: set[str] = set()
+        for stage in stages:
+            if not stage.name:
+                raise StageGraphError(f"stage {stage!r} has no name")
+            if stage.name in names:
+                raise StageGraphError(f"duplicate stage name {stage.name!r}")
+            names.add(stage.name)
+            for key in stage.inputs:
+                if key.name not in available:
+                    raise StageGraphError(
+                        f"stage {stage.name!r} consumes {key.name!r}, which "
+                        "no earlier stage produces and is not an initial "
+                        "artifact"
+                    )
+            for key in stage.outputs:
+                if key.name in produced:
+                    raise StageGraphError(
+                        f"artifact {key.name!r} has two producers "
+                        f"(second: stage {stage.name!r})"
+                    )
+                produced.add(key.name)
+                available.add(key.name)
+        self.stages: tuple[Stage[Any, Any], ...] = tuple(stages)
+
+    def __iter__(self) -> Iterator[Stage[Any, Any]]:
+        return iter(self.stages)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def get(self, name: str) -> Stage[Any, Any]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise StageGraphError(f"no stage named {name!r} in this graph")
+
+    def describe(self) -> tuple[StageInfo, ...]:
+        """Static stage summaries, in execution order."""
+        return tuple(
+            StageInfo(
+                name=stage.name,
+                inputs=tuple(key.name for key in stage.inputs),
+                outputs=tuple(key.name for key in stage.outputs),
+                checkpointed=stage.checkpointed,
+                supersedes=stage.supersedes,
+            )
+            for stage in self.stages
+        )
+
+    def execute(
+        self,
+        store: ArtifactStore,
+        policy: ExecutionPolicy | None = None,
+        ctx: ExecutionContext | None = None,
+    ) -> RunReport:
+        """Run the graph over ``store`` under ``policy`` (batch default)."""
+        chosen = policy if policy is not None else BatchPolicy()
+        return chosen.execute(self, store, ctx or ExecutionContext())
+
+
+def _run_stage(
+    stage: Stage[Any, Any],
+    store: ArtifactStore,
+    ctx: ExecutionContext,
+    report: RunReport,
+) -> None:
+    """Execute one stage under its canonical ``pipeline.<stage>`` span."""
+    if stage.traced:
+        with trace(span_name(stage.name)):
+            stage.run(store, ctx)
+    else:
+        stage.run(store, ctx)
+    report.executed.append(stage.name)
+
+
+class BatchPolicy:
+    """Run every active stage in order, entirely in memory.
+
+    Args:
+        only: When given, restrict execution to these stage names (the
+            rest are skipped). The batch facade uses this to expose
+            individual stages as methods over one shared graph.
+    """
+
+    def __init__(self, only: Collection[str] | None = None) -> None:
+        self.only = None if only is None else frozenset(only)
+
+    def execute(
+        self, graph: StageGraph, store: ArtifactStore, ctx: ExecutionContext
+    ) -> RunReport:
+        report = RunReport()
+        for stage in graph.stages:
+            if self.only is not None and stage.name not in self.only:
+                report.skipped.append(stage.name)
+                continue
+            if not stage.active(store):
+                report.skipped.append(stage.name)
+                continue
+            _run_stage(stage, store, ctx, report)
+        return report
+
+
+class IncrementalPolicy:
+    """Fold semantics: recompute only what the store does not hold yet.
+
+    A stage whose outputs are all present is skipped — the streaming
+    refresh seeds the store with incrementally maintained graphs and
+    recomputes the model stages over them.
+    """
+
+    def execute(
+        self, graph: StageGraph, store: ArtifactStore, ctx: ExecutionContext
+    ) -> RunReport:
+        report = RunReport()
+        for stage in graph.stages:
+            if not stage.active(store):
+                report.skipped.append(stage.name)
+                continue
+            if stage.outputs and all(store.has(key) for key in stage.outputs):
+                report.skipped.append(stage.name)
+                continue
+            _run_stage(stage, store, ctx, report)
+        return report
+
+
+class CheckpointPolicy:
+    """Checkpoint-and-resume execution over a :class:`CheckpointBackend`.
+
+    For each active stage, in order:
+
+    * skip it when a later stage that supersedes it has a checkpoint on
+      disk (that checkpoint will be restored instead);
+    * when resuming and the stage has a checkpoint, verify + restore it;
+      a *partial* checkpoint (rolling ingest saves) is restored and the
+      stage then continues from the restored state;
+    * otherwise run the stage, persist its artifacts atomically, and
+      invalidate every later stage's now-stale checkpoint.
+
+    ``resumed_from`` on the returned report is the most advanced
+    restored stage, mirroring the pre-engine runner's contract.
+    """
+
+    def __init__(self, resume: bool = False) -> None:
+        self.resume = resume
+
+    def _restorable(
+        self, stage: Stage[Any, Any], ckpt: CheckpointBackend | None
+    ) -> bool:
+        return (
+            self.resume
+            and ckpt is not None
+            and stage.checkpointed
+            and ckpt.has(stage.name)
+        )
+
+    def _superseded(
+        self,
+        stage: Stage[Any, Any],
+        later: Sequence[Stage[Any, Any]],
+        ckpt: CheckpointBackend | None,
+    ) -> bool:
+        if not self.resume or ckpt is None:
+            return False
+        return any(
+            stage.name in other.supersedes and ckpt.has(other.name)
+            for other in later
+        )
+
+    def execute(
+        self, graph: StageGraph, store: ArtifactStore, ctx: ExecutionContext
+    ) -> RunReport:
+        ckpt = ctx.checkpointer
+        report = RunReport()
+        stages = graph.stages
+        for position, stage in enumerate(stages):
+            if not stage.active(store):
+                report.skipped.append(stage.name)
+                continue
+            if self._superseded(stage, stages[position + 1 :], ckpt):
+                report.skipped.append(stage.name)
+                continue
+            if self._restorable(stage, ckpt):
+                assert ckpt is not None
+                directory, manifest = ckpt.verify(stage.name)
+                stage.load_artifacts(directory, manifest, store)
+                report.restored.append(stage.name)
+                report.resumed_from = stage.name
+                _log.info(
+                    "stage_restored",
+                    stage=stage.name,
+                    complete=manifest.complete,
+                )
+                if manifest.complete:
+                    continue
+                # A partial (rolling) checkpoint: the restored state is a
+                # prefix of the stage's work — finish it below.
+            _run_stage(stage, store, ctx, report)
+            if ckpt is not None and stage.checkpointed:
+                meta: dict[str, object] = {}
+
+                def populate(staging: Path) -> None:
+                    meta.update(stage.save_artifacts(staging, store))
+
+                ckpt.save(stage.name, populate, meta)
+                ckpt.invalidate_after(stage.name)
+        return report

@@ -25,7 +25,13 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro.core.dataflow import (
+    RAW_GRAPHS,
+    RECORDS_INGESTED,
+    detection_graph,
+)
 from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.core.stages import ArtifactStore, IncrementalPolicy
 from repro.parallel.executor import ParallelConfig
 from repro.dns.dhcp import DhcpLog, HostIdentityResolver
 from repro.dns.names import is_valid_domain_name
@@ -199,15 +205,24 @@ class StreamingDetector:
         gain real features at the next refresh after they appear.
         """
         started = time.perf_counter()
-        detector = MaliciousDomainDetector(self.config)
-        detector.adopt_graphs(
-            self.builder.host_domain,
-            self.builder.domain_ip,
-            self.builder.domain_time,
+        # Same stage graph as the batch and checkpointed paths, under
+        # fold semantics: the store is seeded with the incrementally
+        # maintained graphs and the model stages recompute over them.
+        store = ArtifactStore()
+        store.put(
+            RAW_GRAPHS,
+            (
+                self.builder.host_domain,
+                self.builder.domain_ip,
+                self.builder.domain_time,
+            ),
         )
-        detector.build_similarity_graphs()
-        detector.learn_embeddings()
-        detector.fit(dataset)
+        store.put(RECORDS_INGESTED, self.builder.records_ingested)
+        graph = detection_graph(
+            self.config, dataset_for=lambda _order: dataset
+        )
+        graph.execute(store, IncrementalPolicy())
+        detector = MaliciousDomainDetector.from_store(self.config, store)
         self._detector = detector
         self.refreshes += 1
         elapsed = time.perf_counter() - started

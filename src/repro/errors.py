@@ -54,5 +54,9 @@ class ArtifactIntegrityError(ReproError):
     """A persisted model artifact failed checksum or schema validation."""
 
 
+class StageGraphError(ReproError):
+    """A stage graph is ill-formed or an artifact dependency is missing."""
+
+
 class IngestError(ReproError):
     """Chunked ingestion could not proceed (bad bounds, stale cursor)."""

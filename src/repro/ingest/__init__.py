@@ -22,6 +22,7 @@ from repro.ingest.checkpoint import (
 from repro.ingest.chunking import ChunkedTraceReader, ChunkPolicy, RecordBatch
 from repro.ingest.runner import (
     CheckpointedPipeline,
+    ChunkedIngestStage,
     IngestConfig,
     PipelineOutcome,
     pipeline_fingerprint,
@@ -30,6 +31,7 @@ from repro.ingest.runner import (
 __all__ = [
     "CHECKPOINT_STAGES",
     "ChunkPolicy",
+    "ChunkedIngestStage",
     "ChunkedTraceReader",
     "CheckpointedPipeline",
     "IngestConfig",

@@ -32,6 +32,18 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping
 
+# Canonical stage names live with the stage objects themselves
+# (repro.core.dataflow); checkpoint directories are indexed by the same
+# vocabulary and the historical re-exports below keep old imports alive.
+from repro.core.dataflow import (
+    CHECKPOINT_STAGES,
+    STAGE_CLASSIFY,
+    STAGE_CLUSTER,
+    STAGE_EMBED,
+    STAGE_INGEST,
+    STAGE_PROJECT,
+    STAGE_PRUNE,
+)
 from repro.errors import ArtifactIntegrityError, IngestError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import default_registry
@@ -53,23 +65,6 @@ _log = get_logger(__name__)
 
 CHECKPOINT_SCHEMA_VERSION = 1
 MANIFEST_FILENAME = "manifest.json"
-
-STAGE_INGEST = "ingest"
-STAGE_PRUNE = "prune"
-STAGE_PROJECT = "project"
-STAGE_EMBED = "embed"
-STAGE_CLASSIFY = "classify"
-STAGE_CLUSTER = "cluster"
-
-#: Checkpointable stages in pipeline execution order.
-CHECKPOINT_STAGES: tuple[str, ...] = (
-    STAGE_INGEST,
-    STAGE_PRUNE,
-    STAGE_PROJECT,
-    STAGE_EMBED,
-    STAGE_CLASSIFY,
-    STAGE_CLUSTER,
-)
 
 
 def _sha256(path: Path) -> str:
@@ -136,7 +131,7 @@ class PipelineCheckpointer:
         directory: Checkpoint root (created on first save).
         fingerprint: Binds checkpoints to one (pipeline config, trace
             source) pair — see
-            :func:`repro.ingest.runner.pipeline_fingerprint`.
+            :func:`repro.core.dataflow.pipeline_fingerprint`.
     """
 
     def __init__(self, directory: str | Path, fingerprint: str = "") -> None:
@@ -273,6 +268,21 @@ class PipelineCheckpointer:
                     f"{expected[:12]}..., file {actual[:12]}..."
                 )
         return directory, manifest
+
+    def peek(self, stage: str) -> StageManifest | None:
+        """Read one stage's manifest without hashing its artifacts.
+
+        For inspection only (``repro-dns describe``): no checksum or
+        fingerprint verification happens, so never resume from a peeked
+        checkpoint — use :meth:`verify` for that. Returns ``None`` when
+        the stage has no checkpoint.
+        """
+        manifest_path = self.stage_dir(stage) / MANIFEST_FILENAME
+        if not manifest_path.is_file():
+            return None
+        return StageManifest.from_json(
+            manifest_path.read_text(encoding="utf-8")
+        )
 
     def latest(self) -> tuple[str, StageManifest] | None:
         """The most advanced existing checkpoint, verified.

@@ -1,7 +1,9 @@
 """Checkpointed out-of-core pipeline runner.
 
-:class:`CheckpointedPipeline` drives the full detection pipeline over a
-chunked trace with a stage checkpoint after each expensive step::
+:class:`CheckpointedPipeline` executes the shared detection stage graph
+(:mod:`repro.core.dataflow`) under the engine's
+:class:`~repro.core.stages.CheckpointPolicy`, with the chunked
+out-of-core :class:`ChunkedIngestStage` as the graph's source::
 
     ingest -> prune -> project -> embed -> classify -> cluster
 
@@ -28,49 +30,54 @@ chunks of work rather than the whole pass.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import resource
 import sys
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Callable, Mapping
+from typing import IO, Callable
 
 import numpy as np
 
 from repro.core.clustering import DomainCluster
-from repro.core.features import FeatureView
-from repro.core.persistence import (
-    load_bipartite_graph,
-    load_classifier,
-    load_feature_space,
-    load_similarity_graph,
-    save_bipartite_graph,
-    save_classifier,
-    save_feature_space,
-    save_similarity_graph,
-)
-from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
-from repro.dns.dhcp import DhcpLog, HostIdentityResolver
-from repro.errors import ArtifactIntegrityError, IngestError
-from repro.graphs.bipartite import BipartiteGraph, fold_records_into_graphs
-from repro.graphs.core import VertexTable
-from repro.graphs.pruning import PruningReport
-from repro.ingest.checkpoint import (
-    STAGE_CLASSIFY,
-    STAGE_CLUSTER,
+from repro.core.dataflow import (
+    CLUSTERS,
+    DECISION_SCORES,
+    DOMAIN_ORDER,
+    INGEST_CURSOR,
+    RAW_GRAPHS,
+    RECORDS_INGESTED,
+    SCORED_DOMAINS,
     STAGE_EMBED,
     STAGE_INGEST,
-    STAGE_PROJECT,
-    STAGE_PRUNE,
-    PipelineCheckpointer,
+    VERDICTS,
+    EmbedStage,
+    GraphTriple,
+    detection_stages,
+    load_shared_graphs,
+    pipeline_fingerprint,
+    write_graph_files,
 )
+from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+from repro.core.stages import (
+    ArtifactStore,
+    CheckpointManifest,
+    CheckpointPolicy,
+    ExecutionContext,
+    Stage,
+    StageGraph,
+)
+from repro.dns.dhcp import DhcpLog, HostIdentityResolver
+from repro.errors import IngestError
+from repro.graphs.bipartite import BipartiteGraph, fold_records_into_graphs
+from repro.graphs.core import VertexTable
+from repro.ingest.checkpoint import PipelineCheckpointer
 from repro.ingest.chunking import ChunkedTraceReader, ChunkPolicy
 from repro.labels.dataset import LabeledDataset
 from repro.obs.logging import get_logger
 from repro.obs.metrics import default_registry
 
 __all__ = [
+    "ChunkedIngestStage",
     "IngestConfig",
     "PipelineOutcome",
     "CheckpointedPipeline",
@@ -79,39 +86,12 @@ __all__ = [
 
 _log = get_logger(__name__)
 
-_VIEWS = (FeatureView.QUERY, FeatureView.IP, FeatureView.TEMPORAL)
-_GRAPH_FILES = ("host_domain.npz", "domain_ip.npz", "domain_time.npz")
-
 
 def _peak_rss_mb() -> float:
     """Process peak RSS in MiB (ru_maxrss: KiB on Linux, bytes on mac)."""
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     divisor = 1 << 20 if sys.platform == "darwin" else 1 << 10
     return peak / divisor
-
-
-def pipeline_fingerprint(
-    config: PipelineConfig, sources: Mapping[str, object]
-) -> str:
-    """Hash binding checkpoints to one pipeline config + trace source.
-
-    Only result-affecting knobs participate: parallelism settings are
-    excluded (embeddings are byte-identical across backends), chunk
-    bounds are excluded (chunking never changes outputs). ``sources``
-    should identify the input trace (e.g. path and size), so a
-    checkpoint directory is never resumed against the wrong capture.
-    """
-    payload = {
-        "time_window_seconds": config.time_window_seconds,
-        "pruning": asdict(config.pruning),
-        "embedding": asdict(config.embedding),
-        "min_similarity": config.min_similarity,
-        "views": [view.value for view in config.views],
-        "sources": {str(k): str(v) for k, v in sorted(sources.items())},
-    }
-    return hashlib.sha256(
-        json.dumps(payload, sort_keys=True).encode("utf-8")
-    ).hexdigest()
 
 
 @dataclass(slots=True)
@@ -165,39 +145,119 @@ class PipelineOutcome:
     records_ingested: int = 0
 
 
-def _load_shared_graphs(
-    directory: Path,
-) -> tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph]:
-    """Load the three bipartite graphs, re-linking one shared left table.
+class ChunkedIngestStage(Stage[None, GraphTriple]):
+    """Out-of-core graph construction over a chunked trace.
 
-    The graphs were built over a single domain interner; persistence
-    writes each graph's (identical) copy of it, so the loader restores
-    one authoritative table and rebinds the other two graphs to it —
-    ``fold_records_into_graphs`` requires that identity on resume.
+    The checkpointed twin of
+    :class:`~repro.core.dataflow.BatchGraphStage`: records stream
+    through a :class:`ChunkedTraceReader` whose monotone cursor is
+    carried in every checkpoint, so a restored *partial* checkpoint
+    makes :meth:`run` continue mid-trace instead of starting over.
+    Rolling saves land every ``checkpoint_every_chunks`` chunks while
+    the engine's checkpoint policy writes the final complete one.
     """
-    host, ip_graph, time_graph = (
-        load_bipartite_graph(directory / name) for name in _GRAPH_FILES
-    )
-    shared = host.left
-    for other in (ip_graph, time_graph):
-        if len(other.left) != len(shared):
-            raise ArtifactIntegrityError(
-                f"checkpointed graphs under {directory} disagree on the "
-                "shared domain table"
+
+    name = STAGE_INGEST
+    outputs = (RAW_GRAPHS, RECORDS_INGESTED, INGEST_CURSOR)
+
+    def __init__(
+        self,
+        trace: str | Path | IO[str],
+        chunk: ChunkPolicy,
+        *,
+        checkpoint_every_chunks: int = 8,
+        identity: HostIdentityResolver | None = None,
+        window_seconds: float = 60.0,
+    ) -> None:
+        self.trace = trace
+        self.chunk = chunk
+        self.checkpoint_every_chunks = checkpoint_every_chunks
+        self.identity = identity
+        self.window_seconds = window_seconds
+
+    def run(self, store: ArtifactStore, ctx: ExecutionContext) -> None:
+        cursor = store.maybe(INGEST_CURSOR) or 0
+        graphs = store.maybe(RAW_GRAPHS)
+        if graphs is None:
+            domains = VertexTable()
+            graphs = (
+                BipartiteGraph(kind="host", left=domains),
+                BipartiteGraph(kind="ip", left=domains),
+                BipartiteGraph(kind="time", left=domains),
             )
-    ip_graph = BipartiteGraph(
-        kind=ip_graph.kind,
-        left=shared,
-        right=ip_graph.right,
-        edges=ip_graph.edges,
-    )
-    time_graph = BipartiteGraph(
-        kind=time_graph.kind,
-        left=shared,
-        right=time_graph.right,
-        edges=time_graph.edges,
-    )
-    return host, ip_graph, time_graph
+        host, ip_graph, time_graph = graphs
+        ckpt = ctx.checkpointer
+        every = self.checkpoint_every_chunks
+        chunks_since_save = 0
+        with ChunkedTraceReader(
+            self.trace, self.chunk, start_record=cursor
+        ) as reader:
+            for batch in reader:
+                fold_records_into_graphs(
+                    batch.records,
+                    host,
+                    ip_graph,
+                    time_graph,
+                    identity=self.identity,
+                    window_seconds=self.window_seconds,
+                )
+                chunks_since_save += 1
+                if ckpt is not None and every and chunks_since_save >= every:
+                    ckpt.save(
+                        self.name,
+                        lambda staging: write_graph_files(staging, graphs),
+                        {"cursor": reader.cursor},
+                        complete=False,
+                    )
+                    chunks_since_save = 0
+            cursor = reader.cursor
+        for graph in graphs:
+            graph.edges.compact()
+        store.put(RAW_GRAPHS, graphs)
+        store.put(RECORDS_INGESTED, cursor)
+        store.put(INGEST_CURSOR, cursor)
+
+    def save_artifacts(
+        self, staging: Path, store: ArtifactStore
+    ) -> dict[str, object]:
+        write_graph_files(staging, store.get(RAW_GRAPHS))
+        return {"cursor": store.get(INGEST_CURSOR)}
+
+    def load_artifacts(
+        self,
+        directory: Path,
+        manifest: CheckpointManifest,
+        store: ArtifactStore,
+    ) -> None:
+        graphs = load_shared_graphs(directory)
+        cursor = int(manifest.meta["cursor"])
+        store.put(RAW_GRAPHS, graphs)
+        store.put(RECORDS_INGESTED, cursor)
+        store.put(INGEST_CURSOR, cursor)
+        _log.info("ingest_resumed", cursor=cursor, complete=manifest.complete)
+
+
+class _FacadeEmbedStage(EmbedStage):
+    """Embed by calling the detector facade instead of training inline.
+
+    The checkpointed path historically ran
+    :meth:`MaliciousDomainDetector.learn_embeddings`, and callers rely
+    on that as an extension point (tests replace it to kill the run at
+    the embed boundary). The facade itself executes the shared
+    :class:`~repro.core.dataflow.EmbedStage` under its canonical span,
+    so this delegating wrapper opts out of tracing to keep the span
+    observed exactly once.
+    """
+
+    traced = False
+
+    def __init__(self, config: PipelineConfig) -> None:
+        super().__init__(config.embedding, config.parallel)
+        self.config = config
+
+    def run(self, store: ArtifactStore, ctx: ExecutionContext) -> None:
+        detector = MaliciousDomainDetector.from_store(self.config, store)
+        detector.learn_embeddings(progress=ctx.progress)
 
 
 class CheckpointedPipeline:
@@ -212,7 +272,10 @@ class CheckpointedPipeline:
     Without a checkpointer this is still the memory-bounded chunked
     execution path (nothing is persisted); with one, every stage lands
     a checkpoint and ``resume=True`` restarts after the last complete
-    stage.
+    stage. Either way the run is one
+    :meth:`~repro.core.stages.StageGraph.execute` call under the
+    engine's checkpoint policy — the same stage objects the batch and
+    streaming paths execute.
     """
 
     def __init__(
@@ -230,93 +293,6 @@ class CheckpointedPipeline:
             HostIdentityResolver(dhcp) if dhcp is not None else None
         )
         self.resumed_from: str | None = None
-
-    # -- stage helpers ---------------------------------------------------
-
-    def _restorable(self, stage: str, resume: bool) -> bool:
-        return (
-            resume
-            and self.checkpointer is not None
-            and self.checkpointer.has(stage)
-        )
-
-    def _save_graphs(
-        self,
-        stage: str,
-        graphs: tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph],
-        meta: Mapping[str, object],
-        extra: Callable[[Path], None] | None = None,
-        *,
-        complete: bool = True,
-    ) -> None:
-        assert self.checkpointer is not None
-
-        def populate(staging: Path) -> None:
-            for graph, name in zip(graphs, _GRAPH_FILES):
-                save_bipartite_graph(graph, staging / name)
-            if extra is not None:
-                extra(staging)
-
-        self.checkpointer.save(stage, populate, meta, complete=complete)
-
-    def _run_ingest(
-        self, trace: str | Path | IO[str], resume: bool
-    ) -> tuple[tuple[BipartiteGraph, BipartiteGraph, BipartiteGraph], int]:
-        """Chunked graph construction, with rolling checkpoints."""
-        ckpt = self.checkpointer
-        cursor = 0
-        if self._restorable(STAGE_INGEST, resume):
-            assert ckpt is not None
-            directory, manifest = ckpt.verify(STAGE_INGEST)
-            graphs = _load_shared_graphs(directory)
-            cursor = int(manifest.meta["cursor"])
-            self.resumed_from = STAGE_INGEST
-            _log.info(
-                "ingest_resumed", cursor=cursor, complete=manifest.complete
-            )
-            if manifest.complete:
-                return graphs, cursor
-        else:
-            domains = VertexTable()
-            graphs = (
-                BipartiteGraph(kind="host", left=domains),
-                BipartiteGraph(kind="ip", left=domains),
-                BipartiteGraph(kind="time", left=domains),
-            )
-        host, ip_graph, time_graph = graphs
-        every = self.ingest.checkpoint_every_chunks
-        chunks_since_save = 0
-        with ChunkedTraceReader(
-            trace, self.ingest.chunk, start_record=cursor
-        ) as reader:
-            for batch in reader:
-                fold_records_into_graphs(
-                    batch.records,
-                    host,
-                    ip_graph,
-                    time_graph,
-                    identity=self._identity,
-                    window_seconds=self.config.time_window_seconds,
-                )
-                chunks_since_save += 1
-                if ckpt is not None and every and chunks_since_save >= every:
-                    self._save_graphs(
-                        STAGE_INGEST,
-                        graphs,
-                        {"cursor": reader.cursor},
-                        complete=False,
-                    )
-                    chunks_since_save = 0
-            cursor = reader.cursor
-        for graph in graphs:
-            graph.edges.compact()
-        if ckpt is not None:
-            self._save_graphs(
-                STAGE_INGEST, graphs, {"cursor": cursor}, complete=True
-            )
-        return graphs, cursor
-
-    # -- the run ---------------------------------------------------------
 
     def run(
         self,
@@ -342,225 +318,52 @@ class CheckpointedPipeline:
                 stage with this ``k_max``.
             cluster_seed: Seed for the cluster stage.
         """
-        ckpt = self.checkpointer
-        if resume and ckpt is None:
+        if resume and self.checkpointer is None:
             raise IngestError(
                 "resume requested without a checkpoint directory"
             )
-        self.resumed_from = None
-        detector = MaliciousDomainDetector(self.config)
-        records_ingested = 0
+        source = ChunkedIngestStage(
+            trace,
+            self.ingest.chunk,
+            checkpoint_every_chunks=self.ingest.checkpoint_every_chunks,
+            identity=self._identity,
+            window_seconds=self.config.time_window_seconds,
+        )
+        stages = detection_stages(
+            self.config,
+            source=source,
+            dataset_for=dataset_for,
+            score_all=True,
+            cluster_k_max=cluster_k_max,
+            cluster_seed=cluster_seed,
+        )
+        graph = StageGraph(
+            [
+                _FacadeEmbedStage(self.config)
+                if stage.name == STAGE_EMBED
+                else stage
+                for stage in stages
+            ]
+        )
+        store = ArtifactStore()
+        report = graph.execute(
+            store,
+            CheckpointPolicy(resume=resume),
+            ExecutionContext(checkpointer=self.checkpointer, resume=resume),
+        )
+        self.resumed_from = report.resumed_from
 
-        # Stages ingest + prune. A complete prune checkpoint supersedes
-        # the (much larger) raw ingest graphs, which are never needed
-        # downstream — so resume skips loading them entirely.
-        if self._restorable(STAGE_PRUNE, resume):
-            assert ckpt is not None
-            directory, manifest = ckpt.verify(STAGE_PRUNE)
-            graphs = _load_shared_graphs(directory)
-            with np.load(directory / "domains.npz") as archive:
-                order = [str(d) for d in archive["surviving"]]
-                report = PruningReport(
-                    total_hosts=int(manifest.meta["total_hosts"]),
-                    domains_before=int(manifest.meta["domains_before"]),
-                    dropped_popular=[
-                        str(d) for d in archive["dropped_popular"]
-                    ],
-                    dropped_single_host=[
-                        str(d) for d in archive["dropped_single_host"]
-                    ],
-                    surviving_domains=set(order),
-                )
-            detector.adopt_pruned_graphs(*graphs, order, report)
-            records_ingested = int(manifest.meta.get("records_ingested", 0))
-            self.resumed_from = STAGE_PRUNE
-        else:
-            graphs, records_ingested = self._run_ingest(trace, resume)
-            report = detector.adopt_graphs(*graphs)
-            if ckpt is not None:
-                assert detector.host_domain is not None
-                assert detector.domain_ip is not None
-                assert detector.domain_time is not None
-
-                def save_report(staging: Path) -> None:
-                    np.savez_compressed(
-                        staging / "domains.npz",
-                        surviving=np.array(detector.domains, dtype=np.str_),
-                        dropped_popular=np.array(
-                            report.dropped_popular, dtype=np.str_
-                        ),
-                        dropped_single_host=np.array(
-                            report.dropped_single_host, dtype=np.str_
-                        ),
-                    )
-
-                self._save_graphs(
-                    STAGE_PRUNE,
-                    (
-                        detector.host_domain,
-                        detector.domain_ip,
-                        detector.domain_time,
-                    ),
-                    {
-                        "records_ingested": records_ingested,
-                        "total_hosts": report.total_hosts,
-                        "domains_before": report.domains_before,
-                    },
-                    save_report,
-                )
-                ckpt.invalidate_after(STAGE_PRUNE)
-
-        # Stage project.
-        if self._restorable(STAGE_PROJECT, resume):
-            assert ckpt is not None
-            directory, __ = ckpt.verify(STAGE_PROJECT)
-            detector.adopt_similarity_graphs(
-                {
-                    view: load_similarity_graph(
-                        directory / f"{view.value}.npz"
-                    )
-                    for view in _VIEWS
-                }
-            )
-            self.resumed_from = STAGE_PROJECT
-        else:
-            detector.build_similarity_graphs()
-            if ckpt is not None:
-
-                def save_projections(staging: Path) -> None:
-                    for view, graph in detector.similarity_graphs.items():
-                        save_similarity_graph(
-                            graph, staging / f"{view.value}.npz"
-                        )
-
-                ckpt.save(
-                    STAGE_PROJECT,
-                    save_projections,
-                    {"domains": len(detector.domains)},
-                )
-                ckpt.invalidate_after(STAGE_PROJECT)
-
-        # Stage embed.
-        if self._restorable(STAGE_EMBED, resume):
-            assert ckpt is not None
-            directory, __ = ckpt.verify(STAGE_EMBED)
-            detector.adopt_feature_space(load_feature_space(directory))
-            self.resumed_from = STAGE_EMBED
-        else:
-            detector.learn_embeddings()
-            if ckpt is not None:
-                space = detector.feature_space
-                assert space is not None
-                ckpt.save(
-                    STAGE_EMBED,
-                    lambda staging: save_feature_space(space, staging),
-                    {"dimension": space.query.vectors.shape[1]},
-                )
-                ckpt.invalidate_after(STAGE_EMBED)
-
-        # Stage classify (skipped entirely without a labeled dataset).
-        domains = detector.domains
-        scores = np.empty(0, dtype=np.float64)
-        verdicts = np.empty(0, dtype=np.int64)
-        if dataset_for is not None:
-            if self._restorable(STAGE_CLASSIFY, resume):
-                assert ckpt is not None
-                directory, __ = ckpt.verify(STAGE_CLASSIFY)
-                detector.adopt_classifier(
-                    load_classifier(directory / "classifier.npz")
-                )
-                with np.load(directory / "scores.npz") as archive:
-                    domains = [str(d) for d in archive["domains"]]
-                    scores = np.asarray(archive["scores"], dtype=np.float64)
-                    verdicts = np.asarray(
-                        archive["verdicts"], dtype=np.int64
-                    )
-                self.resumed_from = STAGE_CLASSIFY
-            else:
-                detector.fit(dataset_for(domains))
-                scores = detector.decision_scores(domains)
-                verdicts = detector.predict(domains)
-                if ckpt is not None:
-                    classifier = detector.classifier
-                    assert classifier is not None
-
-                    def save_classify(staging: Path) -> None:
-                        save_classifier(
-                            classifier, staging / "classifier.npz"
-                        )
-                        np.savez_compressed(
-                            staging / "scores.npz",
-                            domains=np.array(domains, dtype=np.str_),
-                            scores=scores,
-                            verdicts=verdicts,
-                        )
-
-                    ckpt.save(
-                        STAGE_CLASSIFY,
-                        save_classify,
-                        {"domains": len(domains)},
-                    )
-                    ckpt.invalidate_after(STAGE_CLASSIFY)
-
-        # Stage cluster (opt-in).
-        clusters: list[DomainCluster] | None = None
-        if cluster_k_max is not None:
-            if self._restorable(STAGE_CLUSTER, resume):
-                assert ckpt is not None
-                directory, __ = ckpt.verify(STAGE_CLUSTER)
-                with np.load(directory / "clusters.npz") as archive:
-                    labels = np.asarray(archive["labels"], dtype=np.int64)
-                    centers = np.asarray(
-                        archive["centers"], dtype=np.float64
-                    )
-                    cluster_ids = np.asarray(
-                        archive["cluster_ids"], dtype=np.int64
-                    )
-                clusters = [
-                    DomainCluster(
-                        cluster_id=int(cid),
-                        domains=[
-                            d
-                            for d, label in zip(domains, labels)
-                            if label == cid
-                        ],
-                        center=centers[position],
-                    )
-                    for position, cid in enumerate(cluster_ids)
-                ]
-                self.resumed_from = STAGE_CLUSTER
-            else:
-                clusters = detector.cluster(
-                    domains, k_max=cluster_k_max, seed=cluster_seed
-                )
-                if ckpt is not None:
-                    index_of = {d: i for i, d in enumerate(domains)}
-                    labels = np.full(len(domains), -1, dtype=np.int64)
-                    for cluster in clusters:
-                        for member in cluster.domains:
-                            labels[index_of[member]] = cluster.cluster_id
-                    centers = (
-                        np.stack([c.center for c in clusters])
-                        if clusters
-                        else np.empty((0, 0), dtype=np.float64)
-                    )
-                    cluster_ids = np.array(
-                        [c.cluster_id for c in clusters], dtype=np.int64
-                    )
-
-                    def save_clusters(staging: Path) -> None:
-                        np.savez_compressed(
-                            staging / "clusters.npz",
-                            labels=labels,
-                            centers=centers,
-                            cluster_ids=cluster_ids,
-                        )
-
-                    ckpt.save(
-                        STAGE_CLUSTER,
-                        save_clusters,
-                        {"clusters": len(clusters)},
-                    )
+        domains = store.maybe(SCORED_DOMAINS)
+        if domains is None:
+            domains = store.maybe(DOMAIN_ORDER) or []
+        scores = store.maybe(DECISION_SCORES)
+        if scores is None:
+            scores = np.empty(0, dtype=np.float64)
+        verdicts = store.maybe(VERDICTS)
+        if verdicts is None:
+            verdicts = np.empty(0, dtype=np.int64)
+        clusters = store.maybe(CLUSTERS)
+        records_ingested = store.maybe(RECORDS_INGESTED) or 0
 
         default_registry().gauge("ingest.peak_rss_mb").set(_peak_rss_mb())
         _log.info(
@@ -571,7 +374,7 @@ class CheckpointedPipeline:
             clusters=None if clusters is None else len(clusters),
         )
         return PipelineOutcome(
-            detector=detector,
+            detector=MaliciousDomainDetector.from_store(self.config, store),
             domains=list(domains),
             scores=scores,
             verdicts=verdicts,

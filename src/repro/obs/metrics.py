@@ -28,7 +28,7 @@ from __future__ import annotations
 import bisect
 import math
 import threading
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping, TypeVar
 
 __all__ = [
     "Counter",
@@ -249,6 +249,9 @@ class Histogram:
         return f"Histogram({self.name!r}, count={self.count})"
 
 
+_MetricT = TypeVar("_MetricT", "Counter", "Gauge", "Histogram")
+
+
 class MetricsRegistry:
     """A named, thread-safe collection of metrics.
 
@@ -261,7 +264,12 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get_or_create(self, name: str, kind: type, factory) -> object:
+    def _get_or_create(
+        self,
+        name: str,
+        kind: type[_MetricT],
+        factory: Callable[[], _MetricT],
+    ) -> _MetricT:
         if not name:
             raise ValueError("metric name must be non-empty")
         with self._lock:

@@ -1,9 +1,15 @@
 """Stage tracing: wall-time spans recorded into the metrics registry.
 
-``with trace("embedding"): ...`` times the block and records it as
+``with trace("pipeline.embed"): ...`` times the block and records it as
 
-* histogram ``stage.embedding.seconds`` — the latency distribution;
-* counter ``stage.embedding.calls`` — how many times the stage ran.
+* histogram ``stage.pipeline.embed.seconds`` — the latency distribution;
+* counter ``stage.pipeline.embed.calls`` — how many times the stage ran.
+
+Canonical span names for detection stages are ``pipeline.<stage>``
+(``pipeline.ingest`` ... ``pipeline.cluster``), minted by
+:func:`repro.core.stages.span_name` and emitted by the stage-graph
+engine itself — batch, streaming, and checkpointed execution all
+produce the same metric names because they run the same stage objects.
 
 Spans nest (pipeline -> per-view embedding -> LINE training); the
 nesting is tracked per-thread so concurrent pipelines don't interleave
@@ -22,6 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+from types import TracebackType
 from typing import Iterator
 
 from repro.obs.metrics import (
@@ -83,8 +90,16 @@ class Span:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        elapsed = time.perf_counter() - self._started
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        started = self._started
+        if started is None:  # pragma: no cover - __exit__ without __enter__
+            return
+        elapsed = time.perf_counter() - started
         self.elapsed = elapsed
         stack = _STACK.spans
         if stack and stack[-1] is self:

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.core.dataflow import CLASSIFIER, DOMAIN_ORDER, FEATURE_SPACE
 from repro.core.detector import MaliciousDomainClassifier
 from repro.core.persistence import (
     load_classifier,
@@ -38,7 +39,8 @@ from repro.errors import ArtifactIntegrityError, DatasetError, NotFittedError
 from repro.ml.preprocessing import StandardScaler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
-    from repro.core.pipeline import MaliciousDomainDetector
+    from repro.core.pipeline import MaliciousDomainDetector, PipelineConfig
+    from repro.core.stages import ArtifactStore
 
 __all__ = [
     "BUNDLE_SCHEMA_VERSION",
@@ -164,6 +166,48 @@ class ModelBundle:
         )
 
     @classmethod
+    def from_artifacts(
+        cls,
+        store: "ArtifactStore",
+        config: "PipelineConfig",
+        scaler: StandardScaler | None = None,
+        metrics: Mapping[str, float] | None = None,
+        created_at: float | None = None,
+    ) -> "ModelBundle":
+        """Package a pipeline :class:`~repro.core.stages.ArtifactStore`.
+
+        Reads the fitted classifier, feature space, and domain order
+        straight from the stage-graph artifact store, so any execution
+        path (batch facade, streaming refresh, checkpointed run) can be
+        bundled without going through a detector object.
+        """
+        classifier = store.maybe(CLASSIFIER)
+        if classifier is None:
+            raise NotFittedError("MaliciousDomainDetector.fit")
+        space = store.maybe(FEATURE_SPACE)
+        if space is None:
+            raise NotFittedError("MaliciousDomainDetector.learn_embeddings")
+        order = store.maybe(DOMAIN_ORDER)
+        domains = list(order) if order is not None else list(space.query.domains)
+        features = space.matrix(domains, config.views)
+        fingerprint = hashlib.sha256(
+            repr(config).encode("utf-8")
+        ).hexdigest()
+        summary: dict[str, float] = {
+            "support_vectors": float(classifier.support_vector_count),
+        }
+        summary.update(metrics or {})
+        return cls.create(
+            classifier=classifier,
+            features=features,
+            domains=domains,
+            scaler=scaler,
+            config_fingerprint=fingerprint,
+            metrics=summary,
+            created_at=created_at,
+        )
+
+    @classmethod
     def from_detector(
         cls,
         detector: "MaliciousDomainDetector",
@@ -176,27 +220,14 @@ class ModelBundle:
         The feature matrix covers every domain that survived pruning, so
         a :class:`~repro.serve.scorer.DomainScorer` over the bundle
         returns exactly the scores ``detector.decision_scores`` would.
+        Thin delegate: the detector is itself a facade over an artifact
+        store, so this just forwards to :meth:`from_artifacts`.
         """
-        if detector.classifier is None:
-            raise NotFittedError("MaliciousDomainDetector.fit")
-        domains = detector.domains
-        features = detector.features_for(domains)
-        fingerprint = hashlib.sha256(
-            repr(detector.config).encode("utf-8")
-        ).hexdigest()
-        summary: dict[str, float] = {
-            "support_vectors": float(
-                detector.classifier.support_vector_count
-            ),
-        }
-        summary.update(metrics or {})
-        return cls.create(
-            classifier=detector.classifier,
-            features=features,
-            domains=domains,
+        return cls.from_artifacts(
+            detector.artifacts,
+            detector.config,
             scaler=scaler,
-            config_fingerprint=fingerprint,
-            metrics=summary,
+            metrics=metrics,
             created_at=created_at,
         )
 

@@ -86,7 +86,25 @@ class TestCluster:
         output = capsys.readouterr().out
         assert "clusters" in output
         assert "stage timings:" in output
-        assert "clustering" in output
+        assert "pipeline.cluster" in output
+
+
+class TestDescribe:
+    def test_prints_stage_graph(self, capsys):
+        assert main(["describe"]) == 0
+        output = capsys.readouterr().out
+        for stage in (
+            "ingest", "prune", "project", "embed", "classify", "cluster",
+        ):
+            assert f"pipeline.{stage}" in output
+        assert "graphs.pruned" in output
+        assert "supersedes ingest" in output
+
+    def test_reports_checkpoint_restorability(self, tmp_path, capsys):
+        assert main(["describe", "--checkpoint-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "checkpoint: none" in output
+        assert "none found" in output
 
 
 class TestChunkedIngestion:
@@ -290,7 +308,8 @@ class TestObservability:
         snapshot = json.loads(metrics_path.read_text())
         assert snapshot["schema_version"] == 1
         for stage in (
-            "graph_build", "pruning", "projection", "embedding", "svm_fit",
+            "pipeline.ingest", "pipeline.prune", "pipeline.project",
+            "pipeline.embed", "pipeline.classify",
         ):
             assert f"stage.{stage}.seconds" in snapshot["histograms"]
             assert f"stage.{stage}.calls" in snapshot["counters"]
