@@ -61,6 +61,9 @@ TRACKED_METRICS = {
     "embedding.serial_seconds": "lower",
     "embedding.parallel_seconds": "lower",
     "serve_score_p50_us": "lower",
+    "svm_fit_seconds": "lower",
+    "svm_fit_peak_mb": "lower",
+    "cv.parallel_identical": "higher",
     "peak_rss_mb": "lower",
     "ingest_peak_rss_mb": "lower",
 }
@@ -236,6 +239,139 @@ def _bench_ingest_rss(trace, chunk_records: int = 5_000) -> dict[str, float]:
     return {"ingest_peak_rss_mb": float(result.stdout.strip().splitlines()[-1])}
 
 
+def _bench_svm_solver(seed: int, repeats: int) -> tuple[
+    dict[str, float], dict[str, float]
+]:
+    """Cached-solver fit time and peak memory vs the dense Gram matrix.
+
+    Fits the cached SMO solver on an n=1200 workload under a small
+    ``kernel_cache_mb`` budget and measures its tracemalloc peak. The
+    FATAL gate asserts the tentpole claim: solver memory is bounded by
+    the cache budget (plus O(n) solver state), not by the n x n Gram
+    matrix the dense reference allocates.
+    """
+    import tracemalloc
+
+    from repro.ml.svm import SupportVectorClassifier
+
+    rng = np.random.default_rng(seed)
+    n, dims = 1200, 8
+    features = rng.normal(size=(n, dims))
+    labels = (
+        features[:, 0] + 0.5 * features[:, 1] + 0.3 * rng.normal(size=n) > 0
+    ).astype(int)
+    cache_mb = 4.0
+
+    def _model(solver: str) -> SupportVectorClassifier:
+        return SupportVectorClassifier(
+            solver=solver, kernel_cache_mb=cache_mb, c=1.0, gamma=0.1
+        )
+
+    metrics: dict[str, float] = {}
+    info: dict[str, float] = {}
+    metrics["svm_fit_seconds"] = _timed(
+        lambda: _model("cached").fit(features, labels), repeats
+    )
+
+    def _traced_peak_mb(solver: str) -> float:
+        tracemalloc.start()
+        try:
+            _model(solver).fit(features, labels)
+            __, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak / (1024.0 * 1024.0)
+
+    metrics["svm_fit_peak_mb"] = _traced_peak_mb("cached")
+    info["svm.dense_fit_peak_mb"] = _traced_peak_mb("dense")
+    dense_gram_mb = n * n * 8 / (1024.0 * 1024.0)
+    info["svm.dense_gram_mb"] = dense_gram_mb
+    info["svm.cache_budget_mb"] = cache_mb
+    # Budget + O(n) solver state (alpha/gradient/masks) + numpy temp
+    # headroom; far below the n^2 Gram footprint either way.
+    peak_limit = cache_mb * 2.0 + 2.0
+    if metrics["svm_fit_peak_mb"] > min(peak_limit, dense_gram_mb):
+        print(
+            "FATAL: cached-solver peak "
+            f"{metrics['svm_fit_peak_mb']:.2f} MiB exceeds its budget-"
+            f"bound limit {peak_limit:.2f} MiB "
+            f"(dense Gram would be {dense_gram_mb:.2f} MiB)",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    return metrics, info
+
+
+def _bench_parallel_cv(args: argparse.Namespace) -> tuple[
+    dict[str, float], dict[str, float]
+]:
+    """Serial vs parallel grid-search over the bench grid.
+
+    Runs the same (cell x fold) grid through the serial path and the
+    configured worker pool and asserts the evaluations are *exactly*
+    equal — the ``cv.parallel_identical`` determinism contract. Wall
+    times for both modes are recorded; the speedup itself stays
+    informational (single-core runners would make gating on it flaky).
+    """
+    from repro.ml.grid_search import grid_search
+    from repro.ml.svm import SupportVectorClassifier
+    from repro.parallel import ParallelConfig
+
+    rng = np.random.default_rng(args.seed + 1)
+    n = 420
+    features = rng.normal(size=(n, 6))
+    labels = (
+        features[:, 0] + 0.4 * features[:, 1] + 0.3 * rng.normal(size=n) > 0
+    ).astype(int)
+    grid = {"c": (0.3, 1.0), "gamma": (0.1, 0.3)}
+    results: dict[str, object] = {}
+
+    def _serial():
+        results["serial"] = grid_search(
+            features, labels, SupportVectorClassifier, grid, n_splits=3
+        )
+
+    serial_seconds = _timed(_serial, args.repeats)
+
+    parallel_config = ParallelConfig(
+        workers=args.workers, backend=args.backend, min_parallel_weight=0
+    )
+
+    def _parallel():
+        results["parallel"] = grid_search(
+            features,
+            labels,
+            SupportVectorClassifier,
+            grid,
+            n_splits=3,
+            parallel=parallel_config,
+        )
+
+    parallel_seconds = _timed(_parallel, args.repeats)
+
+    serial_result = results["serial"]
+    parallel_result = results["parallel"]
+    identical = (
+        serial_result.evaluations == parallel_result.evaluations
+        and serial_result.best_params == parallel_result.best_params
+    )
+    if not identical:
+        print(
+            "FATAL: parallel grid-search evaluations diverge from serial",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+    metrics = {"cv.parallel_identical": 1.0}
+    info = {
+        "cv.grid_serial_seconds": serial_seconds,
+        "cv.grid_parallel_seconds": parallel_seconds,
+        "cv.grid_parallel_speedup": serial_seconds
+        / max(parallel_seconds, 1e-9),
+    }
+    return metrics, info
+
+
 def _bench_engine_overhead(trace, repeats: int) -> dict[str, float]:
     """Stage-graph dispatch tax: engine run vs direct graph-layer calls.
 
@@ -341,6 +477,13 @@ def run_benchmark(args: argparse.Namespace) -> dict:
     detector.fit(dataset)
 
     metrics.update(_bench_serve_scorer(detector, args.repeats))
+
+    svm_metrics, svm_info = _bench_svm_solver(args.seed, args.repeats)
+    metrics.update(svm_metrics)
+    info.update(svm_info)
+    cv_metrics, cv_info = _bench_parallel_cv(args)
+    metrics.update(cv_metrics)
+    info.update(cv_info)
 
     snapshot = snapshot_to_dict(registry)
     for name, seconds in _stage_seconds(snapshot).items():

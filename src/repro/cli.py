@@ -54,6 +54,8 @@ from repro.analysis.reporting import format_series_table
 from repro.analysis.stats import compute_traffic_statistics
 from repro.core.clustering import DomainClusterer
 from repro.core.dataflow import detection_graph
+from repro.core.detector import ClassifierConfig
+from repro.ml.svm import DEFAULT_CACHE_MB, SOLVERS
 from repro.core.pipeline import (
     STAGE_CLUSTER,
     MaliciousDomainDetector,
@@ -207,6 +209,10 @@ def _pipeline_config(args) -> PipelineConfig:
         ),
         parallel=ParallelConfig(
             workers=args.workers, backend=args.parallel_backend
+        ),
+        classifier=ClassifierConfig(
+            solver=getattr(args, "svm_solver", "cached"),
+            kernel_cache_mb=getattr(args, "svm_cache_mb", DEFAULT_CACHE_MB),
         ),
     )
 
@@ -687,6 +693,15 @@ def build_parser() -> argparse.ArgumentParser:
                           default="segment",
                           help="LINE SGD kernel: fused 'segment' "
                           "(default) or the 'add_at' reference loop")
+    p_detect.add_argument("--svm-solver", choices=list(SOLVERS),
+                          default="cached", dest="svm_solver",
+                          help="SMO solver: row-'cached' with shrinking "
+                          "(default) or the full-matrix 'dense' reference")
+    p_detect.add_argument("--svm-cache-mb", type=float,
+                          default=DEFAULT_CACHE_MB, dest="svm_cache_mb",
+                          metavar="MB",
+                          help="kernel row-cache budget for the cached "
+                          "solver (MiB, default %(default)s)")
     p_detect.add_argument("--metrics-out", metavar="PATH", default=None,
                           help="write a JSON metrics snapshot to PATH")
     p_detect.add_argument("--save-model", metavar="DIR", default=None,
@@ -713,6 +728,15 @@ def build_parser() -> argparse.ArgumentParser:
                            default="segment",
                            help="LINE SGD kernel: fused 'segment' "
                            "(default) or the 'add_at' reference loop")
+    p_cluster.add_argument("--svm-solver", choices=list(SOLVERS),
+                           default="cached", dest="svm_solver",
+                           help="SMO solver: row-'cached' with shrinking "
+                           "(default) or the full-matrix 'dense' reference")
+    p_cluster.add_argument("--svm-cache-mb", type=float,
+                           default=DEFAULT_CACHE_MB, dest="svm_cache_mb",
+                           metavar="MB",
+                           help="kernel row-cache budget for the cached "
+                           "solver (MiB, default %(default)s)")
     p_cluster.add_argument("--metrics-out", metavar="PATH", default=None,
                            help="write a JSON metrics snapshot to PATH")
     p_cluster.add_argument("--save-model", metavar="DIR", default=None,

@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.clustering import DomainCluster, DomainClusterer
-from repro.core.detector import MaliciousDomainClassifier
+from repro.core.detector import ClassifierConfig, MaliciousDomainClassifier
 from repro.core.features import FeatureSpace, FeatureView
 from repro.core.persistence import (
     load_bipartite_graph,
@@ -512,10 +512,12 @@ class ClassifyStage(Stage[FeatureSpace, MaliciousDomainClassifier]):
         dataset_for: Callable[[list[str]], LabeledDataset] | None,
         *,
         score_all: bool = False,
+        classifier: ClassifierConfig | None = None,
     ) -> None:
         self.views = tuple(views)
         self.dataset_for = dataset_for
         self.score_all = score_all
+        self.classifier = classifier if classifier is not None else ClassifierConfig()
         if score_all:
             self.outputs = (
                 CLASSIFIER,
@@ -533,12 +535,13 @@ class ClassifyStage(Stage[FeatureSpace, MaliciousDomainClassifier]):
         dataset = self.dataset_for(order)
         space = store.get(FEATURE_SPACE)
         features = space.matrix(dataset.domains, self.views)
-        classifier = MaliciousDomainClassifier().fit(features, dataset.labels)
+        classifier = self.classifier.build().fit(features, dataset.labels)
         store.put(CLASSIFIER, classifier)
         _log.info(
             "classifier_fitted",
             samples=len(dataset.domains),
             support_vectors=classifier.support_vector_count,
+            solver=self.classifier.solver,
         )
         if self.score_all:
             matrix = space.matrix(order, self.views)
@@ -557,7 +560,11 @@ class ClassifyStage(Stage[FeatureSpace, MaliciousDomainClassifier]):
             scores=store.get(DECISION_SCORES),
             verdicts=store.get(VERDICTS),
         )
-        return {"domains": len(domains)}
+        return {
+            "domains": len(domains),
+            "solver": self.classifier.solver,
+            "kernel_cache_mb": self.classifier.kernel_cache_mb,
+        }
 
     def load_artifacts(
         self,
@@ -707,7 +714,12 @@ def detection_stages(
     stages.append(ProjectStage(config.min_similarity))
     stages.append(EmbedStage(config.embedding, config.parallel))
     stages.append(
-        ClassifyStage(config.views, dataset_for, score_all=score_all)
+        ClassifyStage(
+            config.views,
+            dataset_for,
+            score_all=score_all,
+            classifier=config.classifier,
+        )
     )
     if cluster_k_max is not None:
         stages.append(

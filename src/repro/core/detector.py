@@ -12,10 +12,12 @@ In the stage graph this model is fitted by
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import NotFittedError
-from repro.ml.svm import SupportVectorClassifier
+from repro.ml.svm import DEFAULT_CACHE_MB, SupportVectorClassifier
 
 PAPER_PENALTY = 0.09
 PAPER_GAMMA = 0.06
@@ -32,6 +34,11 @@ class MaliciousDomainClassifier:
             F1 — the paper's "we could set a threshold value for d(x)"
             (section 6.2) made concrete. Pass an explicit float (e.g.
             0.0, the SVM's natural boundary) to fix it instead.
+        solver: SMO solver variant — ``"cached"`` (default; LRU kernel
+            row cache + shrinking) or ``"dense"`` (full Gram matrix
+            reference). Both produce the same decision function.
+        kernel_cache_mb: Kernel-row cache budget (MiB) for the cached
+            solver.
     """
 
     def __init__(
@@ -39,10 +46,18 @@ class MaliciousDomainClassifier:
         c: float = PAPER_PENALTY,
         gamma: float = PAPER_GAMMA,
         threshold: float | None = None,
+        solver: str = "cached",
+        kernel_cache_mb: float = DEFAULT_CACHE_MB,
     ) -> None:
         self.threshold = threshold
         self.threshold_: float = 0.0 if threshold is None else threshold
-        self._svm = SupportVectorClassifier(c=c, kernel="rbf", gamma=gamma)
+        self._svm = SupportVectorClassifier(
+            c=c,
+            kernel="rbf",
+            gamma=gamma,
+            solver=solver,
+            kernel_cache_mb=kernel_cache_mb,
+        )
         self._fitted = False
 
     def fit(
@@ -108,3 +123,32 @@ class MaliciousDomainClassifier:
         if not self._fitted:
             raise NotFittedError("MaliciousDomainClassifier")
         return self._svm.support_vector_count
+
+
+@dataclass(slots=True, frozen=True)
+class ClassifierConfig:
+    """Classify-stage knobs threaded through the pipeline config.
+
+    None of these affect *what* the paper's model computes for a
+    converged fit — ``solver``/``kernel_cache_mb`` trade memory against
+    speed — so they stay out of :func:`pipeline_fingerprint` and
+    existing checkpoints remain valid. Picklable (frozen dataclass of
+    primitives), so :meth:`build` can serve as a process-pool model
+    factory for parallel cross-validation.
+    """
+
+    c: float = PAPER_PENALTY
+    gamma: float = PAPER_GAMMA
+    threshold: float | None = None
+    solver: str = "cached"
+    kernel_cache_mb: float = DEFAULT_CACHE_MB
+
+    def build(self) -> MaliciousDomainClassifier:
+        """A fresh, unfitted classifier with these settings."""
+        return MaliciousDomainClassifier(
+            c=self.c,
+            gamma=self.gamma,
+            threshold=self.threshold,
+            solver=self.solver,
+            kernel_cache_mb=self.kernel_cache_mb,
+        )

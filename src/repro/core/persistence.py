@@ -25,7 +25,7 @@ from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.core import EdgeList, VertexTable
 from repro.graphs.projection import SimilarityGraph
 from repro.ml.preprocessing import StandardScaler
-from repro.ml.svm import SupportVectorClassifier
+from repro.ml.svm import DEFAULT_CACHE_MB, SupportVectorClassifier
 
 _FORMAT_VERSION = 1
 
@@ -155,6 +155,8 @@ def save_classifier(
         "coef0": svm.coef0,
         "tolerance": svm.tolerance,
         "max_iterations": svm.max_iterations,
+        "solver": svm.solver,
+        "kernel_cache_mb": svm.kernel_cache_mb,
         # The configured threshold (None = calibrate on fit) and the
         # value that calibration actually produced.
         "threshold": classifier.threshold,
@@ -186,10 +188,17 @@ def load_classifier(path: str | Path) -> MaliciousDomainClassifier:
             )
         params = json.loads(str(archive["params_json"]))
         threshold = params["threshold"]
+        # Archives written before the cached solver existed carry no
+        # solver keys; default to its defaults (refitting such a model
+        # uses the cached path, the stored decision rule is unaffected).
+        solver = str(params.get("solver", "cached"))
+        kernel_cache_mb = float(params.get("kernel_cache_mb", DEFAULT_CACHE_MB))
         classifier = MaliciousDomainClassifier(
             c=float(params["c"]),
             gamma=float(params["gamma"]),
             threshold=None if threshold is None else float(threshold),
+            solver=solver,
+            kernel_cache_mb=kernel_cache_mb,
         )
         svm = SupportVectorClassifier(
             c=float(params["c"]),
@@ -199,6 +208,8 @@ def load_classifier(path: str | Path) -> MaliciousDomainClassifier:
             coef0=float(params["coef0"]),
             tolerance=float(params["tolerance"]),
             max_iterations=int(params["max_iterations"]),
+            solver=solver,
+            kernel_cache_mb=kernel_cache_mb,
         )
         svm._support_vectors = np.asarray(
             archive["support_vectors"], dtype=np.float64

@@ -51,7 +51,7 @@ from repro.core.dataflow import (
     detection_graph,
     line_config_for,
 )
-from repro.core.detector import MaliciousDomainClassifier
+from repro.core.detector import ClassifierConfig, MaliciousDomainClassifier
 from repro.core.features import FeatureSpace, FeatureView
 from repro.core.stages import (
     ArtifactStore,
@@ -67,6 +67,7 @@ from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.projection import SimilarityGraph
 from repro.graphs.pruning import PruningReport, PruningRules
 from repro.labels.dataset import LabeledDataset
+from repro.ml.model_selection import cross_validated_scores
 from repro.obs.logging import get_logger
 from repro.obs.progress import ProgressCallback
 from repro.parallel.executor import ParallelConfig
@@ -100,9 +101,18 @@ class PipelineConfig:
             reference — see ``docs/embedding-kernels.md``).
         parallel: Worker policy for the embedding stage — the three
             views (and both orders of ``order="both"``) train as
-            independent tasks under it. The default (``workers=0``) is
-            fully serial; any backend produces byte-identical
-            embeddings for the same seed (see ``docs/parallelism.md``).
+            independent tasks under it — and for
+            :meth:`MaliciousDomainDetector.cross_validate`, whose folds
+            fan out under the same config. The default (``workers=0``)
+            is fully serial; any backend produces byte-identical
+            embeddings and fold scores for the same seed (see
+            ``docs/parallelism.md``).
+        classifier: SVM settings for the classify stage — the paper's
+            C/gamma plus the solver selection (``"cached"`` row-cache
+            SMO by default, ``"dense"`` reference) and its
+            ``kernel_cache_mb`` budget (see ``docs/ml.md``). Solver
+            choice does not enter the pipeline fingerprint: it changes
+            how the model is computed, not what it computes.
         min_similarity: Projection edge threshold (near-zero keeps all
             overlaps).
         views: Feature views used for classification; the default is all
@@ -113,6 +123,7 @@ class PipelineConfig:
     pruning: PruningRules = field(default_factory=PruningRules)
     embedding: LineConfig = field(default_factory=LineConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
     min_similarity: float = 1e-9
     views: tuple[FeatureView, ...] = (
         FeatureView.QUERY,
@@ -383,11 +394,36 @@ class MaliciousDomainDetector:
         if self.feature_space is None:
             raise NotFittedError("MaliciousDomainDetector.learn_embeddings")
         stage = ClassifyStage(
-            self.config.views, lambda _order: dataset, score_all=False
+            self.config.views,
+            lambda _order: dataset,
+            score_all=False,
+            classifier=self.config.classifier,
         )
         graph = StageGraph([stage], initial=stage.inputs)
         graph.execute(self._store, BatchPolicy())
         return self
+
+    def cross_validate(
+        self, dataset: LabeledDataset, n_splits: int = 10, seed: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Out-of-fold decision scores for the labeled set (section 8.1).
+
+        Each fold trains a fresh classifier with ``config.classifier``'s
+        settings; folds fan out under ``config.parallel`` (the scores
+        are byte-identical across serial/thread/process backends).
+
+        Returns:
+            (scores, fold_ids) aligned with ``dataset.domains``.
+        """
+        features = self.features_for(dataset.domains)
+        return cross_validated_scores(
+            features,
+            np.asarray(dataset.labels),
+            self.config.classifier.build,
+            n_splits=n_splits,
+            seed=seed,
+            parallel=self.config.parallel,
+        )
 
     def decision_scores(self, domains: Sequence[str]) -> np.ndarray:
         """d(x) for each domain — positive means malicious side."""

@@ -9,8 +9,14 @@ plus the metrics and cross-validation machinery of section 8.1.
 
 from repro.ml.calibration import PlattScaler
 from repro.ml.grid_search import GridSearchResult, grid_search
-from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
-from repro.ml.svm import SupportVectorClassifier
+from repro.ml.kernels import (
+    KernelParams,
+    KernelRowCache,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+)
+from repro.ml.svm import ConvergenceWarning, SupportVectorClassifier
 from repro.ml.tree import DecisionTreeClassifier
 from repro.ml.kmeans import KMeans
 from repro.ml.xmeans import XMeans
@@ -33,10 +39,13 @@ from repro.ml.model_selection import (
 from repro.ml.preprocessing import StandardScaler
 
 __all__ = [
+    "ConvergenceWarning",
     "DecisionTreeClassifier",
     "GridSearchResult",
     "KFold",
     "KMeans",
+    "KernelParams",
+    "KernelRowCache",
     "PlattScaler",
     "StandardScaler",
     "StratifiedKFold",

@@ -1,8 +1,24 @@
-"""Kernel functions for the SVM (paper section 6.2 uses RBF)."""
+"""Kernel functions for the SVM (paper section 6.2 uses RBF).
+
+Besides the plain Gram-matrix functions this module carries the pieces
+the cached SMO solver (:mod:`repro.ml.svm`) is built on:
+
+* :class:`KernelParams` — one value object describing a configured
+  kernel, able to produce full matrices, single rows, and the diagonal
+  without materializing anything n x n;
+* :class:`KernelRowCache` — an LRU cache of kernel *rows* under a
+  configurable memory budget, so solver memory is O(cached_rows x n)
+  instead of O(n^2) at the paper's ~10k-sample scale.
+"""
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
+
 import numpy as np
+
+KERNEL_KINDS = ("rbf", "linear", "poly")
 
 
 def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -32,3 +48,96 @@ def polynomial_kernel(
 ) -> np.ndarray:
     """K(x, x') = (gamma x · x' + coef0)^degree."""
     return (gamma * (np.asarray(a) @ np.asarray(b).T) + coef0) ** degree
+
+
+@dataclass(slots=True, frozen=True)
+class KernelParams:
+    """A configured kernel: kind plus its hyperparameters."""
+
+    kind: str = "rbf"
+    gamma: float = 0.06
+    degree: int = 3
+    coef0: float = 1.0
+
+    def matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full Gram block K(a, b)."""
+        if self.kind == "rbf":
+            return rbf_kernel(a, b, gamma=self.gamma)
+        if self.kind == "linear":
+            return linear_kernel(a, b)
+        return polynomial_kernel(
+            a, b, degree=self.degree, gamma=self.gamma, coef0=self.coef0
+        )
+
+    def rows(self, features: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """K(features[indices], features) — len(indices) rows on demand."""
+        return self.matrix(features[np.atleast_1d(indices)], features)
+
+    def diagonal(self, features: np.ndarray) -> np.ndarray:
+        """diag K(X, X) in O(n) — no row computation needed."""
+        features = np.asarray(features, dtype=np.float64)
+        if self.kind == "rbf":
+            return np.ones(features.shape[0])
+        squared = np.einsum("ij,ij->i", features, features)
+        if self.kind == "linear":
+            return squared
+        return (self.gamma * squared + self.coef0) ** self.degree
+
+
+class KernelRowCache:
+    """LRU cache of full kernel rows under a memory budget.
+
+    Each cached entry is row ``i`` of the training Gram matrix
+    (``K(x_i, X)``, length n, float64). The capacity is derived from
+    ``budget_mb``; at least two rows are always allowed so the SMO pair
+    update can hold both its rows. Accessing a cached row refreshes its
+    recency; a miss computes the row and evicts from the cold end.
+
+    Attributes:
+        hits / misses / evictions: access accounting for the
+            ``svm.cache_*`` metrics.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        params: KernelParams,
+        budget_mb: float,
+    ) -> None:
+        if budget_mb <= 0:
+            raise ValueError("budget_mb must be positive")
+        self._features = np.asarray(features, dtype=np.float64)
+        self._params = params
+        n = self._features.shape[0]
+        row_bytes = max(n * 8, 1)
+        self.capacity = max(2, int(budget_mb * 1024 * 1024) // row_bytes)
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def row(self, index: int) -> np.ndarray:
+        """Kernel row ``K(x_index, X)`` (cached or computed)."""
+        cached = self._rows.get(index)
+        if cached is not None:
+            self.hits += 1
+            self._rows.move_to_end(index)
+            return cached
+        self.misses += 1
+        row = self._params.rows(self._features, np.array([index]))[0]
+        while len(self._rows) >= self.capacity:
+            self._rows.popitem(last=False)
+            self.evictions += 1
+        self._rows[index] = row
+        return row
+
+    @property
+    def bytes_held(self) -> int:
+        """Bytes currently pinned by cached rows."""
+        return sum(row.nbytes for row in self._rows.values())
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of row requests served from cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -11,6 +11,33 @@ import numpy as np
 from repro.errors import NotFittedError
 
 
+def cluster_sums(
+    data: np.ndarray, labels: np.ndarray, n_clusters: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cluster feature sums and member counts in one scatter pass.
+
+    Replaces the per-cluster ``data[labels == c].sum()`` loop (k boolean
+    scans over n samples) with a single ``np.add.at`` scatter plus a
+    ``bincount`` — O(n·d) total regardless of k. Shared by the k-means
+    Lloyd update and the X-Means split loop.
+    """
+    sums = np.zeros((n_clusters, data.shape[1]), dtype=np.float64)
+    np.add.at(sums, labels, data)
+    counts = np.bincount(labels, minlength=n_clusters)
+    return sums, counts
+
+
+def cluster_means(
+    data: np.ndarray, labels: np.ndarray, n_clusters: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cluster centroids and counts; empty clusters get zero rows."""
+    sums, counts = cluster_sums(data, labels, n_clusters)
+    means = np.zeros_like(sums)
+    occupied = counts > 0
+    means[occupied] = sums[occupied] / counts[occupied, None]
+    return means, counts
+
+
 def _kmeans_plus_plus(
     data: np.ndarray, k: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -78,14 +105,13 @@ class KMeans:
             )
             labels = np.argmin(distances, axis=1)
             new_centers = centers.copy()
-            for cluster in range(self.n_clusters):
-                members = data[labels == cluster]
-                if members.shape[0] > 0:
-                    new_centers[cluster] = members.mean(axis=0)
-                else:
-                    # Re-seed an empty cluster at the farthest point.
-                    farthest = int(np.argmax(np.min(distances, axis=1)))
-                    new_centers[cluster] = data[farthest]
+            means, counts = cluster_means(data, labels, self.n_clusters)
+            occupied = counts > 0
+            new_centers[occupied] = means[occupied]
+            if not occupied.all():
+                # Re-seed empty clusters at the farthest point.
+                farthest = int(np.argmax(np.min(distances, axis=1)))
+                new_centers[~occupied] = data[farthest]
             shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
             centers = new_centers
             if shift < self.tolerance:

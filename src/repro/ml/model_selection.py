@@ -4,13 +4,40 @@ The paper evaluates with k-fold cross-validation (k=10): shuffle the
 labeled set, split into k groups, train on k-1 and test on the held-out
 group, then average. :class:`StratifiedKFold` additionally preserves the
 30/70 malicious/benign class ratio within each fold.
+
+Fold evaluations are independent, so :func:`cross_validated_scores` can
+fan them out through :func:`repro.parallel.run_tasks`. The determinism
+contract matches the embedding layer's: fold splits are derived exactly
+once in the caller (a pure function of ``seed``), the feature matrix is
+shipped to process workers through a shared-memory
+:class:`~repro.parallel.shm.ArrayPack`, and each fold task is a pure
+function of (data, split) — so serial, thread, and process backends
+return byte-identical scores.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+import time
+from typing import Any, Callable, Iterator
 
 import numpy as np
+
+from repro.obs.metrics import default_registry
+from repro.parallel.executor import ParallelConfig, run_tasks
+from repro.parallel.shm import ArrayPack, ArrayPackSpec, open_pack
+
+
+def _train_indices_for(sample_count: int, test: np.ndarray) -> np.ndarray:
+    """All indices except ``test``, ascending — one O(n) mask pass.
+
+    Equivalent to ``np.sort(np.setdiff1d(arange(n), test))`` without the
+    per-fold sort: fold indices are a subset of ``arange(n)``, so
+    clearing them in a boolean mask and reading back the set positions
+    yields the same ascending order.
+    """
+    mask = np.ones(sample_count, dtype=bool)
+    mask[test] = False
+    return np.flatnonzero(mask)
 
 
 class KFold:
@@ -34,8 +61,7 @@ class KFold:
             np.random.default_rng(self.seed).shuffle(indices)
         for fold in np.array_split(indices, self.n_splits):
             test = np.sort(fold)
-            train = np.sort(np.setdiff1d(indices, fold, assume_unique=True))
-            yield train, test
+            yield _train_indices_for(sample_count, fold), test
 
 
 class StratifiedKFold:
@@ -63,13 +89,11 @@ class StratifiedKFold:
             if self.shuffle:
                 rng.shuffle(class_indices)
             per_class_folds.append(np.array_split(class_indices, self.n_splits))
-        all_indices = np.arange(labels.size)
         for fold_number in range(self.n_splits):
             test = np.sort(
                 np.concatenate([folds[fold_number] for folds in per_class_folds])
             )
-            train = np.setdiff1d(all_indices, test, assume_unique=True)
-            yield train, test
+            yield _train_indices_for(labels.size, test), test
 
 
 def train_test_split(
@@ -107,12 +131,85 @@ def train_test_split(
     )
 
 
+def _fit_and_score_fold(
+    pack_spec: ArrayPackSpec,
+    model_factory: Callable[[], Any],
+    train: np.ndarray,
+    test: np.ndarray,
+) -> np.ndarray:
+    """One fold: fit on ``train``, score ``test``. Pure — pickles cleanly.
+
+    The model comes from ``model_factory`` (must be picklable for the
+    process backend: a top-level class or function, not a lambda) and
+    must expose ``fit`` plus ``decision_function`` or ``predict_proba``.
+    """
+    with open_pack(pack_spec) as arrays:
+        features = arrays["features"]
+        labels = arrays["labels"]
+        model = model_factory()
+        model.fit(features[train], labels[train])
+        scorer = getattr(model, "decision_function", None)
+        if scorer is not None:
+            fold_scores = scorer(features[test])
+        else:
+            fold_scores = model.predict_proba(features[test])[:, 1]
+        # Copy: the result must outlive the worker's shared-memory view.
+        return np.array(fold_scores, dtype=np.float64, copy=True)
+
+
+def run_fold_tasks(
+    features: np.ndarray,
+    labels: np.ndarray,
+    model_factory: Callable[[], Any],
+    splits: list[tuple[np.ndarray, np.ndarray]],
+    parallel: ParallelConfig | None,
+    *,
+    label: str = "cv.folds",
+) -> list[np.ndarray]:
+    """Evaluate precomputed fold splits, serially or through a pool.
+
+    Splits are computed by the caller (once, for all backends), so every
+    backend sees identical folds; results come back in split order.
+    With ``parallel=None`` the folds run inline and task exceptions
+    propagate unwrapped; with a config, pool failures surface as
+    :class:`~repro.errors.EmbeddingError`.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if parallel is None:
+        spec = ArrayPackSpec(
+            shm_name=None,
+            layout={},
+            inline={"features": features, "labels": labels},
+        )
+        return [
+            _fit_and_score_fold(spec, model_factory, train, test)
+            for train, test in splits
+        ]
+    backend = parallel.resolved_backend()
+    with ArrayPack(
+        {"features": features, "labels": labels},
+        use_shm=backend == "process",
+    ) as pack:
+        payloads = [
+            (pack.spec, model_factory, train, test) for train, test in splits
+        ]
+        return run_tasks(
+            _fit_and_score_fold,
+            payloads,
+            parallel,
+            backend=backend,
+            label=label,
+        )
+
+
 def cross_validated_scores(
     features: np.ndarray,
     labels: np.ndarray,
-    model_factory: Callable[[], object],
+    model_factory: Callable[[], Any],
     n_splits: int = 10,
     seed: int = 0,
+    parallel: ParallelConfig | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Out-of-fold decision scores via stratified k-fold.
 
@@ -121,21 +218,31 @@ def cross_validated_scores(
     must return objects exposing fit(X, y) and either decision_function or
     predict_proba.
 
+    Args:
+        parallel: ``None`` (default) runs folds inline; a
+            :class:`~repro.parallel.ParallelConfig` fans them out through
+            ``run_tasks``. Scores are byte-identical across backends —
+            splits are derived once here and each fold task is pure.
+            The process backend requires a picklable ``model_factory``.
+
     Returns:
         (scores, fold_ids) both aligned with the input sample order.
     """
     features = np.asarray(features)
     labels = np.asarray(labels)
+    splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
+    splits = list(splitter.split(labels))
+    started = time.perf_counter()
+    fold_scores = run_fold_tasks(features, labels, model_factory, splits, parallel)
+    elapsed = time.perf_counter() - started
+
+    registry = default_registry()
+    registry.counter("cv.folds").inc(len(splits))
+    registry.histogram("cv.fold_seconds").observe(elapsed / max(len(splits), 1))
+
     scores = np.zeros(labels.size)
     fold_ids = np.zeros(labels.size, dtype=int)
-    splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
-    for fold_number, (train, test) in enumerate(splitter.split(labels)):
-        model = model_factory()
-        model.fit(features[train], labels[train])
-        if hasattr(model, "decision_function"):
-            fold_scores = model.decision_function(features[test])
-        else:
-            fold_scores = model.predict_proba(features[test])[:, 1]
-        scores[test] = fold_scores
+    for fold_number, ((__, test), out) in enumerate(zip(splits, fold_scores)):
+        scores[test] = out
         fold_ids[test] = fold_number
     return scores, fold_ids

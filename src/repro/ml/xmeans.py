@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotFittedError
-from repro.ml.kmeans import KMeans
+from repro.ml.kmeans import KMeans, cluster_means
 
 _EPS = 1e-12
 
@@ -102,6 +102,9 @@ class XMeans:
         for round_number in range(self.max_improvement_rounds):
             new_centers: list[np.ndarray] = []
             split_any = False
+            # All parent centroids in one scatter pass (vs one boolean
+            # scan per cluster inside the loop).
+            parent_centers, __ = cluster_means(data, labels, centers.shape[0])
             for cluster in range(centers.shape[0]):
                 members = data[labels == cluster]
                 if (
@@ -110,7 +113,7 @@ class XMeans:
                 ):
                     new_centers.append(centers[cluster])
                     continue
-                parent_center = members.mean(axis=0)
+                parent_center = parent_centers[cluster]
                 parent_bic = _bic(
                     members, parent_center[None, :], np.zeros(members.shape[0], int)
                 )

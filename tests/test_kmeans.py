@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import NotFittedError
-from repro.ml.kmeans import KMeans, _kmeans_plus_plus
+from repro.ml.kmeans import KMeans, _kmeans_plus_plus, cluster_means, cluster_sums
 
 
 @pytest.fixture(scope="module")
@@ -108,3 +108,37 @@ class TestKMeansPlusPlus:
         for i in range(3):
             for j in range(i + 1, 3):
                 assert np.linalg.norm(centers[i] - centers[j]) > 2.0
+
+
+class TestClusterSums:
+    def test_matches_per_cluster_loop(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(200, 6))
+        labels = rng.integers(0, 5, size=200)
+        sums, counts = cluster_sums(data, labels, 5)
+        for cluster in range(5):
+            members = data[labels == cluster]
+            assert counts[cluster] == members.shape[0]
+            np.testing.assert_allclose(
+                sums[cluster], members.sum(axis=0), atol=1e-9
+            )
+
+    def test_empty_clusters_zeroed(self):
+        data = np.ones((4, 2))
+        labels = np.array([0, 0, 3, 3])
+        means, counts = cluster_means(data, labels, 5)
+        np.testing.assert_array_equal(counts, [2, 0, 0, 2, 0])
+        np.testing.assert_array_equal(means[1], np.zeros(2))
+        np.testing.assert_array_equal(means[0], np.ones(2))
+
+    def test_lloyd_update_unchanged_qualitatively(self):
+        # Same blobs must still recover the same partition.
+        rng = np.random.default_rng(1)
+        blobs = np.vstack(
+            [rng.normal(loc=c, scale=0.2, size=(30, 2)) for c in (0, 5, 10)]
+        )
+        model = KMeans(n_clusters=3, seed=0).fit(blobs)
+        labels = model.labels_
+        for start in (0, 30, 60):
+            group = labels[start : start + 30]
+            assert np.all(group == group[0])

@@ -1,0 +1,142 @@
+"""Parallel cross-validation / grid search determinism and KFold masks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.ml.grid_search import grid_search
+from repro.ml.model_selection import KFold, StratifiedKFold, cross_validated_scores
+from repro.ml.svm import SupportVectorClassifier
+from repro.parallel import ParallelConfig, fork_available
+
+BACKENDS = ["serial", "thread"] + (["process"] if fork_available() else [])
+
+
+def _dataset(seed=0, n=90, dims=4):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, dims))
+    labels = (
+        features[:, 0] + 0.3 * rng.normal(size=n) > 0
+    ).astype(int)
+    return features, labels
+
+
+def _config(backend):
+    return ParallelConfig(workers=3, backend=backend, min_parallel_weight=0)
+
+
+class TestKFoldMaskDerivation:
+    def test_train_matches_setdiff_reference(self):
+        splitter = KFold(n_splits=4, shuffle=True, seed=9)
+        indices = np.arange(23)
+        np.random.default_rng(9).shuffle(indices)
+        folds = np.array_split(indices, 4)
+        for (train, test), fold in zip(splitter.split(23), folds):
+            np.testing.assert_array_equal(test, np.sort(fold))
+            reference = np.sort(np.setdiff1d(indices, fold, assume_unique=True))
+            np.testing.assert_array_equal(train, reference)
+
+    def test_partition_and_order(self):
+        for train, test in KFold(n_splits=5, seed=2).split(40):
+            assert np.all(np.diff(train) > 0)  # strictly ascending
+            assert np.all(np.diff(test) > 0)
+            combined = np.sort(np.concatenate([train, test]))
+            np.testing.assert_array_equal(combined, np.arange(40))
+
+    def test_stratified_train_matches_setdiff_reference(self):
+        labels = np.array([0, 1] * 15)
+        for train, test in StratifiedKFold(n_splits=3, seed=4).split(labels):
+            reference = np.setdiff1d(
+                np.arange(labels.size), test, assume_unique=True
+            )
+            np.testing.assert_array_equal(train, reference)
+
+
+class TestParallelCrossValidation:
+    def test_backends_byte_identical(self):
+        features, labels = _dataset(seed=1)
+        base_scores, base_folds = cross_validated_scores(
+            features, labels, SupportVectorClassifier, n_splits=4, seed=3
+        )
+        for backend in BACKENDS:
+            scores, fold_ids = cross_validated_scores(
+                features,
+                labels,
+                SupportVectorClassifier,
+                n_splits=4,
+                seed=3,
+                parallel=_config(backend),
+            )
+            assert scores.tobytes() == base_scores.tobytes(), backend
+            np.testing.assert_array_equal(fold_ids, base_folds)
+
+    def test_serial_path_propagates_raw_exceptions(self):
+        features, labels = _dataset(seed=2)
+
+        def broken_factory():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            cross_validated_scores(
+                features, labels, broken_factory, n_splits=3
+            )
+
+    def test_pool_failures_wrapped(self):
+        features, labels = _dataset(seed=2)
+
+        def broken_factory():
+            raise RuntimeError("boom")
+
+        with pytest.raises(EmbeddingError):
+            cross_validated_scores(
+                features,
+                labels,
+                broken_factory,
+                n_splits=3,
+                parallel=_config("thread"),
+            )
+
+
+class TestParallelGridSearch:
+    GRID = {"c": [0.1, 1.0], "gamma": [0.1, 0.4]}
+
+    def test_backends_identical_evaluations(self):
+        features, labels = _dataset(seed=5)
+        base = grid_search(
+            features,
+            labels,
+            SupportVectorClassifier,
+            self.GRID,
+            n_splits=3,
+            seed=11,
+        )
+        for backend in BACKENDS:
+            result = grid_search(
+                features,
+                labels,
+                SupportVectorClassifier,
+                self.GRID,
+                n_splits=3,
+                seed=11,
+                parallel=_config(backend),
+            )
+            assert result.best_params == base.best_params, backend
+            assert result.best_score == base.best_score, backend
+            assert result.evaluations == base.evaluations, backend
+
+    def test_evaluation_order_is_grid_order(self):
+        features, labels = _dataset(seed=6)
+        result = grid_search(
+            features,
+            labels,
+            SupportVectorClassifier,
+            self.GRID,
+            n_splits=3,
+            parallel=_config("thread"),
+        )
+        expected = [
+            {"c": c, "gamma": g}
+            for c in self.GRID["c"]
+            for g in self.GRID["gamma"]
+        ]
+        assert [params for params, __ in result.evaluations] == expected
