@@ -593,15 +593,22 @@ def cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
-    service = ScoringService(
-        registry,
-        ServiceConfig(
-            host=args.host,
-            port=args.port,
-            cache_size=args.cache_size,
-            unknown_policy=args.unknown_policy,
-        ),
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        unknown_policy=args.unknown_policy,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        deadline_seconds=args.deadline_ms / 1000.0,
     )
+    try:
+        config.validate()
+    except ValueError as error:
+        print(f"repro-dns serve: {error}", file=sys.stderr)
+        return 2
+    service = ScoringService(registry, config)
     host, port = service.start()
     print(
         f"serving model v{service.active_version:04d} "
@@ -767,6 +774,23 @@ def build_parser() -> argparse.ArgumentParser:
                          default="zero", dest="unknown_policy",
                          help="unknown domains: score the zero 'no "
                          "evidence' vector, or reject without a score")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         dest="max_inflight", metavar="N",
+                         help="scoring requests allowed to execute "
+                         "concurrently (default 8)")
+    p_serve.add_argument("--queue-depth", type=int, default=32,
+                         dest="queue_depth", metavar="N",
+                         help="requests allowed to wait for a slot before "
+                         "excess load is shed with 429 (default 32)")
+    p_serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                         dest="batch_window_ms", metavar="MS",
+                         help="coalesce concurrent requests arriving within "
+                         "MS milliseconds into one vectorized scoring call "
+                         "(0 disables micro-batching; default 0)")
+    p_serve.add_argument("--deadline-ms", type=float, default=5000.0,
+                         dest="deadline_ms", metavar="MS",
+                         help="per-request budget; requests not served "
+                         "within it get 503 (default 5000)")
     p_serve.set_defaults(handler=cmd_serve)
     return parser
 

@@ -11,24 +11,44 @@ verdict queries continuously. This package is that deployment surface:
 * :class:`DomainScorer` answers single/batch verdict queries from a
   bundle (vectorized, LRU-cached, explicit unknown-domain policy);
 * :class:`ScoringService` exposes it all over HTTP with health checks,
-  metrics, and zero-downtime reload (``repro-dns serve``).
+  metrics, and zero-downtime reload (``repro-dns serve``);
+* :class:`AdmissionController` bounds in-flight scoring work and sheds
+  excess load (429 + ``Retry-After``) with per-request deadlines;
+* :class:`MicroBatcher` coalesces concurrent small requests into one
+  vectorized scoring call;
+* :class:`FaultInjector` provides deterministic, test-only latency and
+  error injection so the degradation paths stay exercised.
 
-See ``docs/serving.md`` for the bundle format and endpoint reference.
+See ``docs/serving.md`` for the bundle format, endpoint reference, and
+the operating-under-load runbook.
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionResult,
+    Deadline,
+)
+from repro.serve.batcher import MicroBatcher
 from repro.serve.bundle import (
     BUNDLE_SCHEMA_VERSION,
     BundleManifest,
     ModelBundle,
 )
+from repro.serve.faults import FAULT_SITES, FaultInjector
 from repro.serve.registry import ModelRegistry
 from repro.serve.scorer import UNKNOWN_POLICIES, DomainScorer, Verdict
 from repro.serve.service import ScoringService, ServiceConfig
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionResult",
     "BUNDLE_SCHEMA_VERSION",
     "BundleManifest",
+    "Deadline",
     "DomainScorer",
+    "FAULT_SITES",
+    "FaultInjector",
+    "MicroBatcher",
     "ModelBundle",
     "ModelRegistry",
     "ScoringService",

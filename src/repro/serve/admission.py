@@ -1,0 +1,220 @@
+"""Admission control for the scoring service: bounded concurrency,
+bounded waiting, and per-request deadlines.
+
+``ThreadingHTTPServer`` gives every connection its own handler thread,
+which means an overloaded service degrades by piling up threads — each
+one holding a socket, a request body, and eventually a slice of the
+scorer's time. The :class:`AdmissionController` turns that failure mode
+into explicit, bounded behavior:
+
+* at most ``max_inflight`` requests execute concurrently;
+* at most ``queue_depth`` more may wait for a slot; anything beyond
+  that is **shed** immediately (HTTP 429 with a ``Retry-After`` hint)
+  instead of queueing without bound;
+* a waiter whose :class:`Deadline` expires before a slot frees is
+  rejected (HTTP 503) rather than served a result it stopped waiting
+  for.
+
+The controller is service-agnostic: it knows nothing about HTTP. The
+service maps :data:`ADMITTED` / :data:`SHED` / :data:`DEADLINE` onto
+status codes and must call :meth:`AdmissionController.release` exactly
+once per admitted request (use a ``try/finally``).
+
+``Retry-After`` is an estimate, not a promise: the controller keeps an
+exponentially weighted moving average of observed service times and
+suggests roughly "time for the current backlog to drain", clamped to
+[1, 30] seconds so a pathological EWMA can never tell clients to go
+away for an hour.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "ADMITTED",
+    "DEADLINE",
+    "SHED",
+    "AdmissionController",
+    "AdmissionResult",
+    "Deadline",
+]
+
+
+class Deadline:
+    """A wall-clock budget for one request (monotonic internally)."""
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self._expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (<= 0 once expired)."""
+        return self._expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining() <= 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionResult:
+    """Outcome of one admission attempt.
+
+    Attributes:
+        status: One of :data:`ADMITTED`, :data:`SHED`, :data:`DEADLINE`.
+        retry_after_seconds: Backoff hint for shed requests (0 for the
+            other outcomes).
+        queue_wait_seconds: Time spent waiting for a slot.
+    """
+
+    status: str
+    retry_after_seconds: int = 0
+    queue_wait_seconds: float = 0.0
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the request may proceed (and must later release)."""
+        return self.status == ADMITTED
+
+
+ADMITTED = "admitted"
+SHED = "shed"
+DEADLINE = "deadline"
+
+
+class AdmissionController:
+    """Bounded-concurrency gate with a bounded wait queue.
+
+    Args:
+        max_inflight: Requests allowed to execute concurrently (>= 1).
+        queue_depth: Requests allowed to wait for a slot (>= 0; 0 means
+            shed as soon as all slots are busy).
+        metrics: Registry for admission metrics (process default when
+            omitted).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        queue_depth: int,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self._condition = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._waiting = 0
+        # EWMA of observed service times, seeded pessimistically at
+        # 50ms so the very first Retry-After is sane.
+        self._service_ewma = 0.05
+        registry = metrics if metrics is not None else default_registry()
+        self._admitted = registry.counter("serve.admitted")
+        self._shed = registry.counter("serve.shed")
+        self._deadline_exceeded = registry.counter("serve.deadline_exceeded")
+        self._inflight_gauge = registry.gauge("serve.inflight")
+        self._queue_gauge = registry.gauge("serve.queue.depth")
+        self._wait_histogram = registry.histogram("serve.queue_wait.seconds")
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, /metrics consumers)
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing."""
+        with self._condition:
+            return self._inflight
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        with self._condition:
+            return self._waiting
+
+    # ------------------------------------------------------------------
+    # The gate
+
+    def try_acquire(self, deadline: Deadline) -> AdmissionResult:
+        """Attempt admission, waiting (bounded) for a slot.
+
+        Returns an :class:`AdmissionResult`; when ``.admitted`` the
+        caller owns one slot and must call :meth:`release` when done.
+        """
+        started = time.monotonic()
+        with self._condition:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._inflight_gauge.set(self._inflight)
+                self._admitted.inc()
+                return AdmissionResult(ADMITTED)
+            if self._waiting >= self.queue_depth:
+                self._shed.inc()
+                return AdmissionResult(
+                    SHED, retry_after_seconds=self._retry_after_locked()
+                )
+            self._waiting += 1
+            self._queue_gauge.set(self._waiting)
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        self._deadline_exceeded.inc()
+                        # A notify may have woken us just as the
+                        # deadline hit; pass it on so a free slot can't
+                        # be stranded while other waiters sleep.
+                        self._condition.notify()
+                        return AdmissionResult(
+                            DEADLINE,
+                            queue_wait_seconds=time.monotonic() - started,
+                        )
+                    self._condition.wait(remaining)
+            finally:
+                self._waiting -= 1
+                self._queue_gauge.set(self._waiting)
+            self._inflight += 1
+            self._inflight_gauge.set(self._inflight)
+            waited = time.monotonic() - started
+            self._wait_histogram.observe(waited)
+            self._admitted.inc()
+            return AdmissionResult(ADMITTED, queue_wait_seconds=waited)
+
+    def release(self, service_seconds: float | None = None) -> None:
+        """Return one slot; optionally record the observed service time
+        (feeds the ``Retry-After`` estimate)."""
+        with self._condition:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching acquire")
+            self._inflight -= 1
+            self._inflight_gauge.set(self._inflight)
+            if service_seconds is not None and service_seconds >= 0.0:
+                self._service_ewma += 0.2 * (
+                    service_seconds - self._service_ewma
+                )
+            self._condition.notify()
+
+    def _retry_after_locked(self) -> int:
+        """Seconds a shed client should back off (caller holds lock).
+
+        Estimates the backlog drain time: everything queued plus
+        everything running, paced by ``max_inflight`` parallel slots at
+        the EWMA service time. Clamped to [1, 30].
+        """
+        backlog = self._waiting + self._inflight
+        estimate = self._service_ewma * backlog / self.max_inflight
+        return max(1, min(30, math.ceil(estimate)))

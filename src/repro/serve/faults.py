@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the serving layer (test-only).
+
+The hardening paths in :mod:`repro.serve.service` — reload fallback,
+structured scorer-failure responses, load shedding under slow backends
+— only earn their keep if tests can actually *trigger* them. This
+module provides the trigger: a :class:`FaultInjector` with named
+injection **sites** that instrumented code calls at the moments worth
+breaking:
+
+========================  =============================================
+``registry.load``         fired before the registry loads a bundle
+                          during :meth:`ScoringService.reload`
+``scorer.score_batch``    fired before each scorer/batcher scoring call
+========================  =============================================
+
+A site with no armed rule costs one dict lookup under a lock — cheap
+enough that production code paths keep the hooks unconditionally, so
+tests exercise *exactly* the code that ships.
+
+Rules are deterministic, not probabilistic: ``times=N`` arms the next N
+firings (``times=None`` arms forever), each firing optionally sleeps
+``latency_seconds`` and then raises ``error`` (a fresh copy per firing
+so tracebacks don't cross threads). Typical usage::
+
+    service.faults.inject(
+        "registry.load",
+        error=ArtifactIntegrityError("torn bundle"),
+        times=3,
+    )
+    # the next reload retries 3 times, falls back to the last-good model
+
+    service.faults.inject("scorer.score_batch", latency_seconds=0.5)
+    # every in-flight request now holds its admission slot 500ms longer
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = ["FAULT_SITES", "FaultInjector"]
+
+#: Sites the serving layer instruments.
+FAULT_SITES: tuple[str, ...] = ("registry.load", "scorer.score_batch")
+
+
+class _Rule:
+    """One armed fault (internal)."""
+
+    __slots__ = ("latency_seconds", "error", "remaining")
+
+    def __init__(
+        self,
+        latency_seconds: float,
+        error: BaseException | None,
+        remaining: int | None,
+    ) -> None:
+        self.latency_seconds = latency_seconds
+        self.error = error
+        self.remaining = remaining
+
+
+class FaultInjector:
+    """Named injection sites with deterministic latency/error rules."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self._lock = threading.Lock()
+        self._rules: dict[str, _Rule] = {}
+        registry = metrics if metrics is not None else default_registry()
+        self._fired = registry.counter("serve.faults.fired")
+
+    def inject(
+        self,
+        site: str,
+        error: BaseException | None = None,
+        times: int | None = 1,
+        latency_seconds: float = 0.0,
+    ) -> None:
+        """Arm ``site``: the next ``times`` firings (``None`` = every
+        firing) sleep ``latency_seconds`` then raise ``error`` if set.
+
+        Re-arming a site replaces its previous rule.
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; known sites: {FAULT_SITES}"
+            )
+        if times is not None and times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+        if latency_seconds < 0:
+            raise ValueError("latency_seconds must be >= 0")
+        if error is None and latency_seconds == 0.0:
+            raise ValueError("a rule needs an error, a latency, or both")
+        with self._lock:
+            self._rules[site] = _Rule(latency_seconds, error, times)
+
+    def clear(self, site: str | None = None) -> None:
+        """Disarm ``site`` (or every site when omitted)."""
+        with self._lock:
+            if site is None:
+                self._rules.clear()
+            else:
+                self._rules.pop(site, None)
+
+    def armed(self, site: str) -> bool:
+        """Whether ``site`` currently has an active rule."""
+        with self._lock:
+            return site in self._rules
+
+    def fire(self, site: str) -> None:
+        """Apply the armed rule for ``site``, if any.
+
+        Called by instrumented serving code; a no-op (one locked dict
+        lookup) when nothing is armed.
+        """
+        with self._lock:
+            rule = self._rules.get(site)
+            if rule is None:
+                return
+            if rule.remaining is not None:
+                rule.remaining -= 1
+                if rule.remaining <= 0:
+                    del self._rules[site]
+            latency = rule.latency_seconds
+            error = rule.error
+        self._fired.inc()
+        if latency > 0.0:
+            time.sleep(latency)
+        if error is not None:
+            # A fresh copy per firing: concurrent handler threads must
+            # not share one exception instance's traceback state.
+            raise copy.copy(error)

@@ -188,8 +188,13 @@ class DomainScorer:
         if misses:
             registry.counter("serve.cache.misses").inc(misses)
         with self._lock:
+            # Publish the ratio under the lock: gauge writes then happen
+            # in accumulation order, so the last one standing reflects
+            # the complete hit/miss totals even under concurrent batches.
             self._hits += hits
             self._misses += misses
             total = self._hits + self._misses
-        if total:
-            registry.gauge("serve.cache.hit_ratio").set(self._hits / total)
+            if total:
+                registry.gauge("serve.cache.hit_ratio").set(
+                    self._hits / total
+                )

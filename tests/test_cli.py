@@ -290,6 +290,27 @@ class TestServeCommand:
         assert "no published model versions" in err
         assert "detect --save-model" in err
 
+    @pytest.mark.parametrize(
+        ("flags", "message"),
+        [
+            (["--max-inflight", "0"], "max_inflight"),
+            (["--queue-depth", "-1"], "queue_depth"),
+            (["--batch-window-ms", "-5"], "batch_window_seconds"),
+            (["--deadline-ms", "0"], "deadline_seconds"),
+            (["--port", "70000"], "port"),
+            (["--host", "  "], "host"),
+        ],
+    )
+    def test_bad_hardening_flags_exit_2(
+        self, make_bundle, tmp_path, capsys, flags, message
+    ):
+        from repro.serve import ModelRegistry
+
+        registry_dir = tmp_path / "models"
+        ModelRegistry(registry_dir).publish(make_bundle(seed=1))
+        assert main(["serve", str(registry_dir), *flags]) == 2
+        assert message in capsys.readouterr().err
+
 
 class TestObservability:
     def test_detect_metrics_out_writes_stage_snapshot(self, trace_dir, capsys):

@@ -1,0 +1,171 @@
+"""Unit tests for the admission controller (bounded concurrency,
+bounded queue, deadlines, Retry-After estimates)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import (
+    ADMITTED,
+    DEADLINE,
+    SHED,
+    AdmissionController,
+    AdmissionResult,
+    Deadline,
+)
+
+
+@pytest.fixture()
+def metrics():
+    return MetricsRegistry()
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        deadline = Deadline.after(10.0)
+        assert 9.0 < deadline.remaining() <= 10.0
+        assert not deadline.expired
+
+    def test_expired_after_budget(self):
+        deadline = Deadline.after(-0.001)
+        assert deadline.expired
+        assert deadline.remaining() <= 0.0
+
+
+class TestAcquire:
+    def test_admits_under_limit(self, metrics):
+        controller = AdmissionController(2, 0, metrics=metrics)
+        first = controller.try_acquire(Deadline.after(1.0))
+        second = controller.try_acquire(Deadline.after(1.0))
+        assert first.admitted and second.admitted
+        assert controller.inflight == 2
+        assert metrics.counter("serve.admitted").value == 2
+
+    def test_release_frees_slot(self, metrics):
+        controller = AdmissionController(1, 0, metrics=metrics)
+        controller.try_acquire(Deadline.after(1.0))
+        controller.release(0.01)
+        assert controller.inflight == 0
+        assert controller.try_acquire(Deadline.after(1.0)).admitted
+
+    def test_sheds_when_queue_full(self, metrics):
+        controller = AdmissionController(1, 0, metrics=metrics)
+        controller.try_acquire(Deadline.after(1.0))
+        result = controller.try_acquire(Deadline.after(1.0))
+        assert result.status == SHED
+        assert not result.admitted
+        assert result.retry_after_seconds >= 1
+        assert metrics.counter("serve.shed").value == 1
+        # A shed request holds nothing: no release needed, slot intact.
+        assert controller.inflight == 1
+        assert controller.waiting == 0
+
+    def test_queued_request_admitted_on_release(self, metrics):
+        controller = AdmissionController(1, 4, metrics=metrics)
+        controller.try_acquire(Deadline.after(5.0))
+        outcome: dict[str, AdmissionResult] = {}
+
+        def waiter() -> None:
+            outcome["result"] = controller.try_acquire(Deadline.after(5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while controller.waiting == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert controller.waiting == 1
+        controller.release(0.01)
+        thread.join(timeout=2.0)
+        assert outcome["result"].status == ADMITTED
+        assert outcome["result"].queue_wait_seconds >= 0.0
+        assert metrics.histogram("serve.queue_wait.seconds").count == 1
+
+    def test_deadline_expires_while_queued(self, metrics):
+        controller = AdmissionController(1, 4, metrics=metrics)
+        controller.try_acquire(Deadline.after(5.0))
+        result = controller.try_acquire(Deadline.after(0.05))
+        assert result.status == DEADLINE
+        assert not result.admitted
+        assert controller.waiting == 0
+        assert metrics.counter("serve.deadline_exceeded").value == 1
+
+    def test_expired_deadline_rejected_even_with_queue_room(self, metrics):
+        controller = AdmissionController(1, 8, metrics=metrics)
+        controller.try_acquire(Deadline.after(5.0))
+        result = controller.try_acquire(Deadline.after(-1.0))
+        assert result.status == DEADLINE
+
+
+class TestRetryAfter:
+    def test_clamped_to_at_least_one_second(self, metrics):
+        controller = AdmissionController(1, 0, metrics=metrics)
+        controller.try_acquire(Deadline.after(1.0))
+        shed = controller.try_acquire(Deadline.after(1.0))
+        assert 1 <= shed.retry_after_seconds <= 30
+
+    def test_grows_with_observed_service_time(self, metrics):
+        controller = AdmissionController(1, 0, metrics=metrics)
+        controller.try_acquire(Deadline.after(1.0))
+        # Teach the EWMA that requests take ~20s each.
+        for __ in range(20):
+            controller.release(20.0)
+            controller.try_acquire(Deadline.after(1.0))
+        shed = controller.try_acquire(Deadline.after(1.0))
+        assert shed.retry_after_seconds > 1
+        assert shed.retry_after_seconds <= 30  # still clamped
+
+
+class TestValidationAndAccounting:
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(0, 4)
+        with pytest.raises(ValueError, match="queue_depth"):
+            AdmissionController(1, -1)
+
+    def test_release_without_acquire_rejected(self, metrics):
+        controller = AdmissionController(1, 0, metrics=metrics)
+        with pytest.raises(RuntimeError, match="release"):
+            controller.release()
+
+    def test_gauges_track_state(self, metrics):
+        controller = AdmissionController(2, 2, metrics=metrics)
+        controller.try_acquire(Deadline.after(1.0))
+        assert metrics.gauge("serve.inflight").value == 1
+        controller.release()
+        assert metrics.gauge("serve.inflight").value == 0
+
+
+class TestConcurrency:
+    def test_inflight_never_exceeds_limit(self, metrics):
+        controller = AdmissionController(3, 16, metrics=metrics)
+        peak = {"value": 0, "current": 0}
+        lock = threading.Lock()
+        failures: list[str] = []
+
+        def worker() -> None:
+            for __ in range(25):
+                result = controller.try_acquire(Deadline.after(5.0))
+                if result.status == SHED:
+                    continue
+                if result.status == DEADLINE:
+                    failures.append("deadline under generous budget")
+                    return
+                with lock:
+                    peak["current"] += 1
+                    peak["value"] = max(peak["value"], peak["current"])
+                time.sleep(0.001)
+                with lock:
+                    peak["current"] -= 1
+                controller.release(0.001)
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        assert 1 <= peak["value"] <= 3
+        assert controller.inflight == 0
+        assert controller.waiting == 0

@@ -1,0 +1,210 @@
+"""Unit tests for the micro-batcher: coalescing, slicing, early flush,
+error propagation, and byte-identity with direct batch scoring."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import DomainScorer, MicroBatcher
+
+
+class _Recorder:
+    """A flush backend that records every batch it sees."""
+
+    def __init__(self):
+        self.batches = []
+        self.lock = threading.Lock()
+
+    def __call__(self, domains):
+        with self.lock:
+            self.batches.append(list(domains))
+        return len(self.batches), [d.upper() for d in domains]
+
+
+class TestBatching:
+    def test_single_submission_round_trips(self):
+        recorder = _Recorder()
+        batcher = MicroBatcher(
+            recorder, window_seconds=0.001, metrics=MetricsRegistry()
+        )
+        context, results = batcher.submit(["a.example", "b.example"])
+        assert context == 1
+        assert results == ["A.EXAMPLE", "B.EXAMPLE"]
+        assert recorder.batches == [["a.example", "b.example"]]
+
+    def test_concurrent_submissions_coalesce_into_one_flush(self):
+        recorder = _Recorder()
+        metrics = MetricsRegistry()
+        # max_batch == the total submitted: the batch seals (and
+        # flushes) the instant the last client joins, so the test never
+        # sits out the window on the happy path.
+        batcher = MicroBatcher(
+            recorder, window_seconds=0.5, max_batch=12, metrics=metrics
+        )
+        barrier = threading.Barrier(6)
+        outputs = {}
+
+        def client(index):
+            barrier.wait()
+            outputs[index] = batcher.submit(
+                [f"d{index}.a.example", f"d{index}.b.example"]
+            )
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(recorder.batches) == 1
+        assert len(recorder.batches[0]) == 12
+        for index in range(6):
+            context, results = outputs[index]
+            assert context == 1
+            assert results == [
+                f"D{index}.A.EXAMPLE", f"D{index}.B.EXAMPLE"
+            ]
+        assert metrics.counter("serve.batch.flushes").value == 1
+        assert metrics.counter("serve.batch.coalesced").value == 5
+        assert metrics.histogram("serve.batch.size").count == 1
+
+    def test_full_batch_flushes_before_window(self):
+        recorder = _Recorder()
+        # A very long window: only the max_batch seal can flush early.
+        batcher = MicroBatcher(
+            recorder, window_seconds=30.0, max_batch=4,
+            metrics=MetricsRegistry(),
+        )
+        context, results = batcher.submit(["a", "b", "c", "d"])
+        assert results == ["A", "B", "C", "D"]
+        assert recorder.batches == [["a", "b", "c", "d"]]
+
+    def test_oversized_submission_flushes_alone(self):
+        recorder = _Recorder()
+        batcher = MicroBatcher(
+            recorder, window_seconds=30.0, max_batch=2,
+            metrics=MetricsRegistry(),
+        )
+        __, results = batcher.submit(["a", "b", "c", "d", "e"])
+        assert results == ["A", "B", "C", "D", "E"]
+        assert recorder.batches == [["a", "b", "c", "d", "e"]]
+
+    def test_sealed_batch_not_joined_by_later_submissions(self):
+        recorder = _Recorder()
+        batcher = MicroBatcher(
+            recorder, window_seconds=0.05, max_batch=2,
+            metrics=MetricsRegistry(),
+        )
+        batcher.submit(["a", "b"])  # seals at max_batch, flushes
+        batcher.submit(["c"])
+        assert recorder.batches == [["a", "b"], ["c"]]
+
+
+class TestErrors:
+    def test_flush_error_propagates_to_every_caller(self):
+        calls = {"count": 0}
+
+        def explode(domains):
+            calls["count"] += 1
+            raise RuntimeError("backend down")
+
+        batcher = MicroBatcher(
+            explode, window_seconds=0.1, metrics=MetricsRegistry()
+        )
+        barrier = threading.Barrier(3)
+        errors = []
+
+        def client(index):
+            barrier.wait()
+            try:
+                batcher.submit([f"d{index}.example"])
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == ["backend down"] * 3
+        assert calls["count"] == 1  # one flush failed, all callers told
+
+    def test_short_flush_result_is_an_error(self):
+        batcher = MicroBatcher(
+            lambda domains: (0, []), window_seconds=0.001,
+            metrics=MetricsRegistry(),
+        )
+        with pytest.raises(RuntimeError, match="results"):
+            batcher.submit(["a.example"])
+
+    def test_empty_submission_rejected(self):
+        batcher = MicroBatcher(
+            lambda domains: (0, list(domains)), window_seconds=0.001,
+            metrics=MetricsRegistry(),
+        )
+        with pytest.raises(ValueError, match="at least one"):
+            batcher.submit([])
+
+    def test_bad_config_rejected(self):
+        flush = lambda domains: (0, list(domains))  # noqa: E731
+        with pytest.raises(ValueError, match="window_seconds"):
+            MicroBatcher(flush, window_seconds=0.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(flush, window_seconds=0.001, max_batch=0)
+
+
+class TestByteIdentity:
+    def test_batched_scores_identical_to_direct_score_batch(self, make_bundle):
+        """Micro-batched verdicts are the same bytes a direct
+        ``score_batch`` over the coalesced batch produces."""
+        bundle = make_bundle(seed=11, count=20, dimension=5)
+        scorer = DomainScorer(bundle, cache_size=0)
+        flushed = []
+        flush_lock = threading.Lock()
+
+        def flush(domains):
+            with flush_lock:
+                flushed.append(list(domains))
+            return 1, scorer.score_batch(domains)
+
+        batcher = MicroBatcher(
+            flush, window_seconds=0.5, max_batch=20,
+            metrics=MetricsRegistry(),
+        )
+        barrier = threading.Barrier(5)
+        outputs = {}
+
+        def client(index):
+            domains = bundle.domains[index * 4:index * 4 + 4]
+            barrier.wait()
+            outputs[index] = (domains, batcher.submit(domains)[1])
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(5)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Reference: a fresh scorer over each exact coalesced batch (the
+        # same shape -> the same BLAS path -> the same bytes). Usually
+        # one flush; tolerate an unlucky scheduler splitting it.
+        reference = {}
+        for order in flushed:
+            reference.update(
+                zip(
+                    order,
+                    DomainScorer(bundle, cache_size=0).score_batch(order),
+                )
+            )
+        for __, (domains, verdicts) in outputs.items():
+            assert [v.domain for v in verdicts] == list(domains)
+            for verdict in verdicts:
+                expected = reference[verdict.domain]
+                assert verdict.score == expected.score  # bit-identical
+                assert verdict.malicious == expected.malicious

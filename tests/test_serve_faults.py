@@ -1,0 +1,266 @@
+"""Fault-injection tests: the injector itself, and the degradation
+paths it exists to exercise (reload fallback, scorer-failure 500s)."""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ArtifactIntegrityError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    FaultInjector,
+    ModelRegistry,
+    ScoringService,
+    ServiceConfig,
+)
+
+
+def _request(port, method, path, body=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        connection.close()
+
+
+class TestInjector:
+    def test_unarmed_site_is_a_noop(self):
+        injector = FaultInjector(MetricsRegistry())
+        injector.fire("registry.load")  # no rule: nothing happens
+
+    def test_error_rule_fires_exact_count(self):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(metrics)
+        injector.inject(
+            "scorer.score_batch", error=RuntimeError("boom"), times=2
+        )
+        for __ in range(2):
+            with pytest.raises(RuntimeError, match="boom"):
+                injector.fire("scorer.score_batch")
+        injector.fire("scorer.score_batch")  # disarmed after 2 firings
+        assert not injector.armed("scorer.score_batch")
+        assert metrics.counter("serve.faults.fired").value == 2
+
+    def test_unlimited_rule_until_cleared(self):
+        injector = FaultInjector(MetricsRegistry())
+        injector.inject(
+            "registry.load", error=ArtifactIntegrityError("torn"), times=None
+        )
+        for __ in range(5):
+            with pytest.raises(ArtifactIntegrityError):
+                injector.fire("registry.load")
+        injector.clear("registry.load")
+        injector.fire("registry.load")
+
+    def test_latency_rule_sleeps(self):
+        injector = FaultInjector(MetricsRegistry())
+        injector.inject("scorer.score_batch", latency_seconds=0.05)
+        started = time.perf_counter()
+        injector.fire("scorer.score_batch")
+        assert time.perf_counter() - started >= 0.045
+
+    def test_each_firing_raises_a_fresh_exception(self):
+        injector = FaultInjector(MetricsRegistry())
+        template = RuntimeError("shared")
+        injector.inject("scorer.score_batch", error=template, times=2)
+        caught = []
+        for __ in range(2):
+            try:
+                injector.fire("scorer.score_batch")
+            except RuntimeError as exc:
+                caught.append(exc)
+        assert caught[0] is not caught[1]
+        assert caught[0] is not template
+
+    def test_validation(self):
+        injector = FaultInjector(MetricsRegistry())
+        with pytest.raises(ValueError, match="unknown fault site"):
+            injector.inject("nope", error=RuntimeError())
+        with pytest.raises(ValueError, match="times"):
+            injector.inject("registry.load", error=RuntimeError(), times=0)
+        with pytest.raises(ValueError, match="latency_seconds"):
+            injector.inject("registry.load", latency_seconds=-1.0)
+        with pytest.raises(ValueError, match="error, a latency"):
+            injector.inject("registry.load")
+
+
+@pytest.fixture()
+def faulty_service(make_bundle, tmp_path):
+    registry = ModelRegistry(tmp_path / "models")
+    registry.publish(make_bundle(seed=1))
+    metrics = MetricsRegistry()
+    config = ServiceConfig(
+        port=0,
+        request_timeout_seconds=5.0,
+        reload_retries=2,
+        reload_backoff_seconds=0.0,  # keep test wall time flat
+    )
+    service = ScoringService(registry, config, metrics=metrics)
+    __, port = service.start()
+    yield service, registry, port, metrics, make_bundle
+    service.stop()
+
+
+class TestReloadDegradation:
+    def test_torn_bundle_reload_keeps_last_good_model(self, faulty_service):
+        """With every load attempt failing, the previous version keeps
+        serving: /readyz stays 200, the failure is a structured 409."""
+        service, registry, port, metrics, make_bundle = faulty_service
+        registry.publish(make_bundle(seed=2))
+        service.faults.inject(
+            "registry.load",
+            error=ArtifactIntegrityError("torn bundle"),
+            times=None,
+        )
+        status, body = _request(port, "POST", "/admin/reload", {})
+        assert status == 409
+        assert "torn bundle" in body["error"]
+        assert body["active_version"] == 1
+        # 1 initial attempt + 2 retries, all counted.
+        assert metrics.counter("serve.reload_failures").value == 3
+        assert service.active_version == 1
+        assert service.ready
+        assert _request(port, "GET", "/readyz") == (
+            200, {"ready": True, "model_version": 1}
+        )
+        # Scoring still answers on the last-good model.
+        domain = registry.load(1).domains[0]
+        status, body = _request(
+            port, "POST", "/v1/score", {"domain": domain}
+        )
+        assert status == 200
+        assert body["model_version"] == 1
+
+    def test_transient_fault_retried_to_success(self, faulty_service):
+        """A fault that clears within the retry budget never surfaces."""
+        service, registry, port, metrics, make_bundle = faulty_service
+        registry.publish(make_bundle(seed=2))
+        service.faults.inject(
+            "registry.load",
+            error=ArtifactIntegrityError("transient"),
+            times=2,
+        )
+        status, body = _request(port, "POST", "/admin/reload", {})
+        assert status == 200
+        assert body["model_version"] == 2
+        assert metrics.counter("serve.reload_failures").value == 2
+
+    def test_reload_backoff_applied_between_attempts(
+        self, make_bundle, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        service = ScoringService(
+            registry,
+            ServiceConfig(
+                port=0, reload_retries=2, reload_backoff_seconds=0.03
+            ),
+            metrics=MetricsRegistry(),
+        )
+        service.faults.inject(
+            "registry.load",
+            error=ArtifactIntegrityError("torn"),
+            times=None,
+        )
+        started = time.perf_counter()
+        with pytest.raises(ArtifactIntegrityError):
+            service.reload()
+        # Backoff 0.03 + 0.06 between the three attempts.
+        assert time.perf_counter() - started >= 0.08
+
+
+class TestScorerDegradation:
+    def test_scorer_fault_mid_burst_is_a_structured_500(self, faulty_service):
+        """One poisoned request answers 500 JSON; neighbors are fine."""
+        service, registry, port, metrics, __ = faulty_service
+        domains = registry.load(1).domains
+        service.faults.inject(
+            "scorer.score_batch", error=RuntimeError("cache poisoned"),
+            times=1,
+        )
+        statuses = []
+        bodies = []
+        lock = threading.Lock()
+
+        def client(domain):
+            status, body = _request(
+                port, "POST", "/v1/score", {"domain": domain}
+            )
+            with lock:
+                statuses.append(status)
+                bodies.append(body)
+
+        threads = [
+            threading.Thread(target=client, args=(domains[i],))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert statuses.count(500) == 1
+        assert statuses.count(200) == 3
+        failed = bodies[statuses.index(500)]
+        assert "scoring failed" in failed["error"]
+        assert "cache poisoned" in failed["error"]
+        assert metrics.counter("serve.scorer_failures").value == 1
+        assert metrics.counter("serve.errors").value >= 1
+        # The service is not wedged: the next request scores normally.
+        status, __ = _request(
+            port, "POST", "/v1/score", {"domain": domains[0]}
+        )
+        assert status == 200
+
+    def test_injected_latency_holds_admission_slots(
+        self, make_bundle, tmp_path
+    ):
+        """Latency faults make overload observable: with the single slot
+        pinned and the queue full, the next request is shed with 429."""
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        metrics = MetricsRegistry()
+        service = ScoringService(
+            registry,
+            ServiceConfig(
+                port=0, max_inflight=1, queue_depth=0,
+                deadline_seconds=5.0, request_timeout_seconds=10.0,
+            ),
+            metrics=metrics,
+        )
+        __, port = service.start()
+        try:
+            service.faults.inject(
+                "scorer.score_batch", latency_seconds=0.5, times=None
+            )
+            results = {}
+
+            def holder():
+                results["holder"] = _request(
+                    port, "POST", "/v1/score", {"domain": "h.example"}
+                )
+
+            thread = threading.Thread(target=holder)
+            thread.start()
+            deadline = time.monotonic() + 2.0
+            while (
+                metrics.gauge("serve.inflight").value < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            status, body = _request(
+                port, "POST", "/v1/score", {"domain": "s.example"}
+            )
+            thread.join()
+            service.faults.clear()
+            assert status == 429
+            assert "retry_after_seconds" in body
+            assert results["holder"][0] == 200
+            assert metrics.counter("serve.shed").value == 1
+        finally:
+            service.stop()

@@ -126,6 +126,47 @@ class TestCache:
         with pytest.raises(ValueError, match="cache_size"):
             DomainScorer(bundle, cache_size=-1)
 
+    def test_duplicate_domains_in_one_batch(self, bundle):
+        """Each occurrence of a duplicate gets its own result slot, in
+        input order, and cache accounting counts occurrences."""
+        registry = MetricsRegistry()
+        scorer = DomainScorer(bundle, metrics=registry)
+        queried = [
+            bundle.domains[2],
+            bundle.domains[5],
+            bundle.domains[2],
+            bundle.domains[2],
+        ]
+        verdicts = scorer.score_batch(queried)
+        assert [v.domain for v in verdicts] == queried
+        assert verdicts[0] == verdicts[2] == verdicts[3]
+        # Only two distinct domains end up cached...
+        assert scorer.cache_len == 2
+        # ...but all four cold occurrences were scored as misses.
+        assert registry.counter("serve.cache.misses").value == 4
+        assert registry.counter("serve.cache.hits").value == 0
+        # The same batch again is answered entirely from the cache.
+        repeat = scorer.score_batch(queried)
+        assert repeat == verdicts
+        assert registry.counter("serve.cache.hits").value == 4
+        assert registry.counter("serve.cache.misses").value == 4
+        assert registry.gauge("serve.cache.hit_ratio").value == 0.5
+
+    def test_cache_disabled_batch_with_duplicates(self, bundle):
+        """cache_size=0 batches keep order and never populate the LRU,
+        even for duplicates within one batch."""
+        registry = MetricsRegistry()
+        scorer = DomainScorer(bundle, cache_size=0, metrics=registry)
+        queried = [bundle.domains[0], bundle.domains[1], bundle.domains[0]]
+        verdicts = scorer.score_batch(queried)
+        assert [v.domain for v in verdicts] == queried
+        assert verdicts[0] == verdicts[2]
+        assert scorer.cache_len == 0
+        assert registry.counter("serve.cache.misses").value == 3
+        scorer.score_batch(queried)
+        assert registry.counter("serve.cache.misses").value == 6
+        assert registry.counter("serve.cache.hits").value == 0
+
     def test_throughput_counter(self, bundle):
         registry = MetricsRegistry()
         scorer = DomainScorer(bundle, metrics=registry)
@@ -160,3 +201,33 @@ class TestConcurrency:
         for thread in threads:
             thread.join()
         assert failures == []
+
+    def test_hit_ratio_consistent_under_concurrent_scoring(self, bundle):
+        """The hit-ratio gauge always equals hits/(hits+misses) from the
+        counters, even with interleaved multi-threaded batches."""
+        import threading
+
+        registry = MetricsRegistry()
+        scorer = DomainScorer(bundle, cache_size=64, metrics=registry)
+
+        def worker(offset: int) -> None:
+            for i in range(30):
+                start = (offset + i) % (len(bundle.domains) - 3)
+                scorer.score_batch(bundle.domains[start:start + 3])
+
+        threads = [
+            threading.Thread(target=worker, args=(k * 5,)) for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        hits = registry.counter("serve.cache.hits").value
+        misses = registry.counter("serve.cache.misses").value
+        assert hits + misses == 4 * 30 * 3
+        assert (
+            registry.counter("serve.scored_domains").value == hits + misses
+        )
+        assert registry.gauge("serve.cache.hit_ratio").value == pytest.approx(
+            hits / (hits + misses)
+        )

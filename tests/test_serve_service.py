@@ -2,7 +2,10 @@
 
 import http.client
 import json
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -22,6 +25,23 @@ def _request(port, method, path, body=None, headers=None):
         connection.request(method, path, body=payload, headers=headers or {})
         response = connection.getresponse()
         return response.status, json.loads(response.read() or b"{}")
+    finally:
+        connection.close()
+
+
+def _request_with_headers(port, method, path, body=None, timeout=10):
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", port, timeout=timeout
+    )
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        return (
+            response.status,
+            json.loads(response.read() or b"{}"),
+            dict(response.getheaders()),
+        )
     finally:
         connection.close()
 
@@ -252,3 +272,406 @@ class TestLifecycle:
             ServiceConfig(max_batch_size=0).validate()
         with pytest.raises(ValueError):
             ServiceConfig(unknown_policy="bogus").validate()
+
+    def test_config_rejects_out_of_range_port(self):
+        with pytest.raises(ValueError, match="65535"):
+            ServiceConfig(port=70000).validate()
+        ServiceConfig(port=65535).validate()  # boundary is fine
+
+    def test_config_rejects_blank_host(self):
+        with pytest.raises(ValueError, match="host"):
+            ServiceConfig(host="").validate()
+        with pytest.raises(ValueError, match="host"):
+            ServiceConfig(host="   ").validate()
+
+    def test_config_validates_hardening_knobs(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            ServiceConfig(max_inflight=0).validate()
+        with pytest.raises(ValueError, match="queue_depth"):
+            ServiceConfig(queue_depth=-1).validate()
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            ServiceConfig(deadline_seconds=0).validate()
+        with pytest.raises(ValueError, match="batch_window_seconds"):
+            ServiceConfig(batch_window_seconds=-0.001).validate()
+        with pytest.raises(ValueError, match="batch_max_size"):
+            ServiceConfig(batch_max_size=0).validate()
+        with pytest.raises(ValueError, match="reload_retries"):
+            ServiceConfig(reload_retries=-1).validate()
+        with pytest.raises(ValueError, match="reload_backoff_seconds"):
+            ServiceConfig(reload_backoff_seconds=-0.1).validate()
+
+
+class TestAdmissionOverHttp:
+    """Load shedding and deadlines end-to-end through the HTTP layer."""
+
+    def _overloaded_service(self, make_bundle, tmp_path, **overrides):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        metrics = MetricsRegistry()
+        defaults = dict(
+            port=0,
+            max_inflight=1,
+            queue_depth=0,
+            deadline_seconds=5.0,
+            request_timeout_seconds=10.0,
+        )
+        defaults.update(overrides)
+        service = ScoringService(
+            registry, ServiceConfig(**defaults), metrics=metrics
+        )
+        __, port = service.start()
+        return service, port, metrics
+
+    def _hold_slot(self, service, metrics, port, seconds):
+        """Occupy the single scoring slot with an injected-latency
+        request on a background thread; wait until it is in flight."""
+        service.faults.inject(
+            "scorer.score_batch", latency_seconds=seconds, times=1
+        )
+        result = {}
+
+        def holder():
+            result["response"] = _request(
+                port, "POST", "/v1/score", {"domain": "holder.example"}
+            )
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while (
+            metrics.gauge("serve.inflight").value < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert metrics.gauge("serve.inflight").value == 1
+        return thread, result
+
+    def test_excess_load_shed_with_429_and_retry_after(
+        self, make_bundle, tmp_path
+    ):
+        service, port, metrics = self._overloaded_service(
+            make_bundle, tmp_path
+        )
+        try:
+            thread, held = self._hold_slot(service, metrics, port, 0.5)
+            status, body, headers = _request_with_headers(
+                port, "POST", "/v1/score", {"domain": "shed.example"}
+            )
+            thread.join()
+            assert status == 429
+            assert "overloaded" in body["error"]
+            assert int(headers["Retry-After"]) >= 1
+            assert body["retry_after_seconds"] == int(headers["Retry-After"])
+            assert metrics.counter("serve.shed").value == 1
+            # The held request completed normally despite the overload.
+            assert held["response"][0] == 200
+        finally:
+            service.stop()
+
+    def test_deadline_exceeded_while_queued_is_503(
+        self, make_bundle, tmp_path
+    ):
+        service, port, metrics = self._overloaded_service(
+            make_bundle, tmp_path, queue_depth=4, deadline_seconds=0.2
+        )
+        try:
+            thread, held = self._hold_slot(service, metrics, port, 0.8)
+            started = time.perf_counter()
+            status, body = _request(
+                port, "POST", "/v1/score", {"domain": "late.example"}
+            )
+            waited = time.perf_counter() - started
+            thread.join()
+            assert status == 503
+            assert "deadline" in body["error"]
+            # Rejected at the deadline, well before the slot freed.
+            assert waited < 0.8
+            assert metrics.counter("serve.deadline_exceeded").value >= 1
+            assert held["response"][0] == 200
+        finally:
+            service.stop()
+
+    def test_health_endpoints_not_gated_by_admission(
+        self, make_bundle, tmp_path
+    ):
+        """Probes must answer even when scoring is saturated."""
+        service, port, metrics = self._overloaded_service(
+            make_bundle, tmp_path
+        )
+        try:
+            thread, __ = self._hold_slot(service, metrics, port, 0.5)
+            assert _request(port, "GET", "/healthz")[0] == 200
+            assert _request(port, "GET", "/readyz")[0] == 200
+            assert _request(port, "GET", "/metrics")[0] == 200
+            thread.join()
+        finally:
+            service.stop()
+
+    def test_malformed_requests_do_not_consume_slots(
+        self, make_bundle, tmp_path
+    ):
+        service, port, metrics = self._overloaded_service(
+            make_bundle, tmp_path
+        )
+        try:
+            thread, __ = self._hold_slot(service, metrics, port, 0.5)
+            # Validation rejects these before admission: 400, not 429.
+            assert _request(port, "POST", "/v1/score", {})[0] == 400
+            assert (
+                _request(port, "POST", "/v1/score", {"domains": []})[0]
+                == 400
+            )
+            thread.join()
+            assert metrics.counter("serve.shed").value == 0
+        finally:
+            service.stop()
+
+
+class TestMicroBatchingOverHttp:
+    def test_concurrent_requests_coalesce_and_map_back(
+        self, make_bundle, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=3))
+        metrics = MetricsRegistry()
+        service = ScoringService(
+            registry,
+            ServiceConfig(
+                port=0,
+                batch_window_seconds=0.05,
+                batch_max_size=256,
+                max_inflight=16,
+                queue_depth=32,
+                request_timeout_seconds=10.0,
+            ),
+            metrics=metrics,
+        )
+        __, port = service.start()
+        try:
+            domains = registry.load(1).domains[:8]
+            barrier = threading.Barrier(len(domains))
+            outputs = {}
+            lock = threading.Lock()
+
+            def client(domain):
+                barrier.wait()
+                status, body = _request(
+                    port, "POST", "/v1/score", {"domain": domain}
+                )
+                with lock:
+                    outputs[domain] = (status, body)
+
+            threads = [
+                threading.Thread(target=client, args=(d,)) for d in domains
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for domain in domains:
+                status, body = outputs[domain]
+                assert status == 200
+                assert body["results"][0]["domain"] == domain
+                assert body["results"][0]["known"] is True
+            # Coalescing happened: fewer flushes than requests.
+            flushes = metrics.counter("serve.batch.flushes").value
+            assert 1 <= flushes < len(domains)
+            # Verdicts are cached per domain, so a repeat query returns
+            # the same bytes the batched pass produced.
+            for domain in domains:
+                status, body = _request(
+                    port, "POST", "/v1/score", {"domain": domain}
+                )
+                assert body["results"][0] == outputs[domain][1]["results"][0]
+        finally:
+            service.stop()
+
+
+class TestClientDisconnects:
+    def test_mid_response_disconnect_counted_not_crashed(
+        self, make_bundle, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        metrics = MetricsRegistry()
+        service = ScoringService(
+            registry,
+            ServiceConfig(port=0, request_timeout_seconds=5.0),
+            metrics=metrics,
+        )
+        __, port = service.start()
+        try:
+            # Slow the scorer so the client can vanish before the
+            # response write; SO_LINGER(0) turns close() into an RST so
+            # the server's write genuinely fails.
+            service.faults.inject(
+                "scorer.score_batch", latency_seconds=0.3, times=1
+            )
+            requests_before = metrics.counter("serve.requests").value
+            errors_before = metrics.counter("serve.errors").value
+            sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+            body = json.dumps({"domain": "gone.example"}).encode()
+            sock.sendall(
+                b"POST /v1/score HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: " + str(len(body)).encode()
+                + b"\r\n\r\n" + body
+            )
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            time.sleep(0.05)
+            sock.close()
+            deadline = time.monotonic() + 3.0
+            while (
+                metrics.counter("serve.client_disconnects").value == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert metrics.counter("serve.client_disconnects").value >= 1
+            # Accounting not skewed: the aborted request is neither a
+            # served response nor an error.
+            assert metrics.counter("serve.requests").value == requests_before
+            assert metrics.counter("serve.errors").value == errors_before
+            # The service keeps answering.
+            assert _request(port, "GET", "/healthz")[0] == 200
+        finally:
+            service.stop()
+
+
+class TestConcurrentReload:
+    def test_racing_reloads_cannot_interleave_load_and_swap(
+        self, make_bundle, tmp_path
+    ):
+        """Two threads hammering /admin/reload with different versions
+        must leave the gauge and the active model agreeing."""
+        registry = ModelRegistry(tmp_path / "models")
+        registry.publish(make_bundle(seed=1))
+        registry.publish(make_bundle(seed=2))
+        metrics = MetricsRegistry()
+        service = ScoringService(
+            registry, ServiceConfig(port=0), metrics=metrics
+        )
+        __, port = service.start()
+        try:
+            errors = []
+
+            def reloader(version):
+                for __ in range(8):
+                    status, __body = _request(
+                        port, "POST", "/admin/reload", {"version": version}
+                    )
+                    if status != 200:
+                        errors.append((version, status))
+                        return
+
+            threads = [
+                threading.Thread(target=reloader, args=(v,))
+                for v in (1, 2, 1, 2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            # Serialized load-and-swap: whatever won last, the gauge
+            # agrees with the active scorer's version.
+            assert metrics.gauge("serve.model_version").value == (
+                service.active_version
+            )
+            assert service.active_version in (1, 2)
+        finally:
+            service.stop()
+
+
+@pytest.mark.slow
+class TestClosedLoopLoad:
+    def test_32_clients_against_one_slot_never_hang_or_crash(
+        self, make_bundle, tmp_path
+    ):
+        """The acceptance scenario: a 32-client closed loop against
+        ``max_inflight=1`` always gets an orderly answer — 200 within
+        the deadline, 429 with Retry-After, or 503 on deadline — and
+        the service stays healthy throughout."""
+        registry = ModelRegistry(tmp_path / "models")
+        bundle = make_bundle(seed=9, count=64)
+        registry.publish(bundle)
+        metrics = MetricsRegistry()
+        service = ScoringService(
+            registry,
+            ServiceConfig(
+                port=0,
+                max_inflight=1,
+                queue_depth=4,
+                deadline_seconds=2.0,
+                batch_window_seconds=0.002,
+                batch_max_size=256,
+                request_timeout_seconds=10.0,
+            ),
+            metrics=metrics,
+        )
+        __, port = service.start()
+        try:
+            domains = bundle.domains
+            failures = []
+            statuses = []
+            lock = threading.Lock()
+
+            def client(index):
+                for step in range(6):
+                    domain = domains[(index * 6 + step) % len(domains)]
+                    try:
+                        status, body, headers = _request_with_headers(
+                            port, "POST", "/v1/score", {"domain": domain},
+                            timeout=10,
+                        )
+                    except Exception as exc:  # reset/hang = hard fail
+                        with lock:
+                            failures.append(
+                                f"client {index}: {type(exc).__name__}: "
+                                f"{exc}"
+                            )
+                        return
+                    with lock:
+                        statuses.append(status)
+                    if status == 200:
+                        if body["results"][0]["domain"] != domain:
+                            with lock:
+                                failures.append("result misrouted")
+                            return
+                    elif status == 429:
+                        if "Retry-After" not in headers:
+                            with lock:
+                                failures.append("429 without Retry-After")
+                            return
+                        time.sleep(0.01)
+                    elif status == 503:
+                        if "deadline" not in body.get("error", ""):
+                            with lock:
+                                failures.append(f"unexpected 503: {body}")
+                            return
+                    else:
+                        with lock:
+                            failures.append(f"unexpected status {status}")
+                        return
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(32)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert all(not t.is_alive() for t in threads), "client hung"
+            assert failures == []
+            assert len(statuses) > 0
+            assert set(statuses) <= {200, 429, 503}
+            assert statuses.count(200) >= 1
+            # Overloaded on purpose: shedding must actually have fired.
+            assert 429 in statuses
+            # The service survived: still ready, slots all returned.
+            assert _request(port, "GET", "/readyz")[0] == 200
+            assert metrics.gauge("serve.inflight").value == 0
+        finally:
+            service.stop()
